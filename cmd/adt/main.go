@@ -1,0 +1,288 @@
+// Command adt is the specification toolchain: it parses, checks,
+// evaluates and verifies algebraic specifications of abstract data types.
+//
+// Usage:
+//
+//	adt info [-lib] [file.spec ...]
+//	adt check [-lib] [-depth N] [file.spec ...]
+//	adt eval -spec NAME [-lib] [file.spec ...] TERM
+//	adt trace -spec NAME [-lib] [file.spec ...] TERM
+//	adt verify -rep stack|list [-depth N]
+//
+// The -lib flag preloads the embedded specification library (the paper's
+// Queue, Symboltable, Stack, Array, Knowlist and friends); files are
+// loaded afterwards in order, so user specs may use library ones.
+//
+// Examples:
+//
+//	adt eval -lib -spec Queue "front(add(add(new, 'x), 'y))"
+//	adt check -lib
+//	adt verify -rep stack
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"algspec/internal/complete"
+	"algspec/internal/consist"
+	"algspec/internal/core"
+	"algspec/internal/homo"
+	"algspec/internal/reps"
+	"algspec/internal/rewrite"
+	"algspec/internal/speclib"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run dispatches a subcommand, writing results to out and problems to
+// errOut; it returns the process exit code.
+func run(args []string, stdin io.Reader, out, errOut io.Writer) int {
+	if len(args) < 1 {
+		usage(errOut)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "info":
+		err = cmdInfo(args[1:], out)
+	case "check":
+		err = cmdCheck(args[1:], out)
+	case "eval":
+		err = cmdEval(args[1:], out, false)
+	case "trace":
+		err = cmdEval(args[1:], out, true)
+	case "verify":
+		err = cmdVerify(args[1:], out)
+	case "fmt":
+		err = cmdFmt(args[1:], out)
+	case "prove":
+		err = cmdProve(args[1:], out)
+	case "cover":
+		err = cmdCover(args[1:], out)
+	case "repl":
+		err = cmdRepl(args[1:], stdin, out)
+	case "help", "-h", "--help":
+		usage(out)
+		return 0
+	default:
+		fmt.Fprintf(errOut, "adt: unknown subcommand %q\n", args[0])
+		usage(errOut)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(errOut, "adt: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `adt — algebraic specification toolchain
+
+subcommands:
+  info    [-lib] [file ...]          list loaded specifications
+  check   [-lib] [-depth N] [file ...]
+                                     sufficient-completeness and
+                                     consistency of every loaded spec
+  eval    -spec NAME [-lib] [file ...] TERM
+                                     normalize a ground term
+  trace   -spec NAME [-lib] [file ...] TERM
+                                     normalize, printing each rewrite
+  verify  -rep stack|list [-depth N] verify a Symboltable representation
+  fmt     [-w] file ...              format specifications canonically
+  prove   -spec NAME [-vars "x:S,.."] [-lemma GOAL]... GOAL
+                                     prove an equation by structural
+                                     induction (GOAL = "on VAR : L = R")
+  repl    [-spec NAME] [-lib] [file ...]
+                                     interactive term evaluation
+  cover   [-lib] [-spec NAME] [-depth N] [file ...]
+                                     axiom coverage under the generated
+                                     workload (reports dead axioms)
+`)
+}
+
+// loadEnv builds an environment from the -lib flag and positional files.
+func loadEnv(lib bool, files []string) (*core.Env, error) {
+	env := core.NewEnv()
+	if lib {
+		env.MustLoad(speclib.Sources...)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := env.Load(string(src)); err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+	}
+	return env, nil
+}
+
+func cmdInfo(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	fs.SetOutput(out)
+	lib := fs.Bool("lib", false, "preload the embedded specification library")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	env, err := loadEnv(*lib, fs.Args())
+	if err != nil {
+		return err
+	}
+	for _, name := range env.Names() {
+		sp := env.MustGet(name)
+		fmt.Fprintf(out, "spec %s: %d own operation(s), %d own axiom(s)", sp.Name, len(sp.OwnOps), len(sp.Own))
+		if len(sp.Uses) > 0 {
+			fmt.Fprintf(out, ", uses %s", joinComma(sp.Uses))
+		}
+		fmt.Fprintln(out)
+		for _, op := range sp.OwnOperations() {
+			kind := "extension  "
+			if sp.IsConstructor(op.Name) {
+				kind = "constructor"
+			}
+			if op.Native {
+				kind = "native     "
+			}
+			fmt.Fprintf(out, "  %s %s\n", kind, op)
+		}
+	}
+	return nil
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}
+
+func cmdCheck(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	fs.SetOutput(out)
+	lib := fs.Bool("lib", false, "preload the embedded specification library")
+	depth := fs.Int("depth", 4, "ground-term depth for the dynamic checks")
+	dynamic := fs.Bool("dynamic", true, "also run the dynamic (ground-term) checks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	env, err := loadEnv(*lib, fs.Args())
+	if err != nil {
+		return err
+	}
+	bad := 0
+	for _, name := range env.Names() {
+		sp := env.MustGet(name)
+		cr := complete.Check(sp)
+		fmt.Fprint(out, cr)
+		if !cr.OK() {
+			bad++
+		}
+		kr := consist.Check(sp)
+		fmt.Fprint(out, kr)
+		if !kr.OK() {
+			bad++
+		}
+		if *dynamic {
+			dr := complete.CheckDynamic(sp, complete.DynamicConfig{Depth: *depth})
+			fmt.Fprint(out, dr)
+			if !dr.OK() {
+				bad++
+			}
+			gr := consist.CheckGround(sp, consist.GroundConfig{Depth: *depth})
+			fmt.Fprint(out, gr)
+			if !gr.OK() {
+				bad++
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d check(s) failed", bad)
+	}
+	return nil
+}
+
+func cmdEval(args []string, out io.Writer, traced bool) error {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	fs.SetOutput(out)
+	lib := fs.Bool("lib", true, "preload the embedded specification library")
+	specName := fs.String("spec", "", "specification to evaluate against (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if *specName == "" || len(rest) == 0 {
+		return fmt.Errorf("eval requires -spec NAME and a TERM argument")
+	}
+	files, termSrc := rest[:len(rest)-1], rest[len(rest)-1]
+	env, err := loadEnv(*lib, files)
+	if err != nil {
+		return err
+	}
+	if traced {
+		step := 0
+		nf, err := env.Trace(*specName, termSrc, func(ts rewrite.TraceStep) {
+			step++
+			fmt.Fprintf(out, "%3d  %-14s %s\n     -> %s\n", step, "["+ts.Rule.Label+"]", ts.Before, ts.After)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "normal form: %s\n", nf)
+		return nil
+	}
+	nf, err := env.Eval(*specName, termSrc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, nf)
+	return nil
+}
+
+func cmdVerify(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	fs.SetOutput(out)
+	repName := fs.String("rep", "stack", "representation to verify: stack (paper's stack of arrays) or list (flat list)")
+	depth := fs.Int("depth", 4, "concrete ground-term depth")
+	assume := fs.Bool("assume", true, "apply the paper's Assumption 1 (stack representation only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	env := speclib.BaseEnv()
+	var (
+		v   *homo.Verifier
+		err error
+	)
+	switch *repName {
+	case "stack":
+		v, err = reps.SymtabAsStack(env, *assume)
+	case "list":
+		v, err = reps.SymtabAsList(env)
+	default:
+		return fmt.Errorf("unknown representation %q", *repName)
+	}
+	if err != nil {
+		return err
+	}
+	rep, err := v.Verify(homo.Config{Depth: *depth})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep)
+	if !rep.OK() {
+		return fmt.Errorf("verification failed")
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProveSimple(t *testing.T) {
+	code, out, errOut := runWith(t, "prove",
+		"-spec", "Nat",
+		"-vars", "n:Nat",
+		"on n : addN(n, zero) = n")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errOut)
+	}
+	if !strings.Contains(out, "PROVED") || !strings.Contains(out, "case succ") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestProveWithLemmaChain(t *testing.T) {
+	code, out, errOut := runWith(t, "prove",
+		"-spec", "List",
+		"-vars", "l:List, e:Elem",
+		"-lemma", "on l : reverseL(appendL(l, cons(e, nil))) = cons(e, reverseL(l))",
+		"on l : reverseL(reverseL(l)) = l")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q\n%s", code, errOut, out)
+	}
+	if strings.Count(out, "PROVED") != 2 {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestProveFailure(t *testing.T) {
+	code, out, errOut := runWith(t, "prove",
+		"-spec", "List",
+		"-vars", "l:List, k:List",
+		"on l : appendL(l, k) = appendL(k, l)")
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "NOT PROVED") || !strings.Contains(errOut, "goal not proved") {
+		t.Errorf("out = %q, stderr = %q", out, errOut)
+	}
+}
+
+func TestProveFailedLemmaStops(t *testing.T) {
+	code, _, errOut := runWith(t, "prove",
+		"-spec", "Nat",
+		"-vars", "m:Nat, n:Nat",
+		"-lemma", "on m : addN(m, n) = n",
+		"on m : addN(m, n) = addN(n, m)")
+	if code != 1 || !strings.Contains(errOut, "lemma not proved") {
+		t.Errorf("exit = %d, stderr = %q", code, errOut)
+	}
+}
+
+func TestProveArgumentErrors(t *testing.T) {
+	cases := [][]string{
+		{"prove"},                 // no spec/goal
+		{"prove", "-spec", "Nat"}, // no goal
+		{"prove", "-spec", "Ghost", "on n : zero = zero"}, // unknown spec
+		{"prove", "-spec", "Nat", "no-on-prefix"},         // bad goal shape
+		{"prove", "-spec", "Nat", "on n zero = zero"},     // missing colon... actually ':' absent
+		{"prove", "-spec", "Nat", "on n : zero"},          // missing =
+		{"prove", "-spec", "Nat", "-vars", "garbage", "on n : zero = zero"},
+		{"prove", "-spec", "Nat", "-vars", "n:Ghost", "on n : addN(n, zero) = n"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runWith(t, args...); code == 0 {
+			t.Errorf("accepted %v", args)
+		}
+	}
+}
+
+func TestParseGoal(t *testing.T) {
+	v, l, r, err := parseGoal("  on l : appendL(l, nil) = l ")
+	if err != nil || v != "l" || l != "appendL(l, nil)" || r != "l" {
+		t.Errorf("parseGoal = %q %q %q %v", v, l, r, err)
+	}
+}
+
+func TestParseVarDecls(t *testing.T) {
+	m, err := parseVarDecls(" l:List , e:Elem ")
+	if err != nil || len(m) != 2 || m["l"] != "List" || m["e"] != "Elem" {
+		t.Errorf("parseVarDecls = %v %v", m, err)
+	}
+	if m, err := parseVarDecls(""); err != nil || len(m) != 0 {
+		t.Errorf("empty = %v %v", m, err)
+	}
+	if _, err := parseVarDecls("oops"); err == nil {
+		t.Error("bad decl accepted")
+	}
+}

@@ -1,0 +1,111 @@
+// Command blockc runs the Block language front end: it parses and
+// semantically checks a Block program, using any of the three symbol
+// table implementations behind the same abstract interface.
+//
+// Usage:
+//
+//	blockc [-table stack|list|spec] [-knows] [-stats] [file.blk]
+//
+// With no file, the program is read from standard input. The -table flag
+// selects the symbol table representation: the paper's stack of arrays,
+// the flat list, or the symbolically interpreted algebraic specification
+// (§5 of the paper: slower, but behaviourally indistinguishable). The
+// -knows flag selects the knows-list language dialect of §4 (forcing the
+// flat-list knows table).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"algspec/internal/adt/symtab"
+	"algspec/internal/compiler"
+	"algspec/internal/speclib"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so tests can drive it.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("blockc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table := fs.String("table", "stack", "symbol table implementation: stack, list, or spec")
+	knows := fs.Bool("knows", false, "compile the knows-list dialect")
+	stats := fs.Bool("stats", false, "print symbol table operation counts")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	src, err := readSource(fs.Args(), stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "blockc: %v\n", err)
+		return 1
+	}
+
+	mode := compiler.Plain
+	if *knows {
+		mode = compiler.Knows
+	}
+	prog, diags := compiler.Parse(src, mode)
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s\n", d)
+	}
+	if prog == nil {
+		return 1
+	}
+
+	var res *compiler.Result
+	if *knows {
+		res = compiler.CheckKnows(prog, symtab.NewKnowsTable())
+	} else {
+		tbl, err := pickTable(*table)
+		if err != nil {
+			fmt.Fprintf(stderr, "blockc: %v\n", err)
+			return 2
+		}
+		res = compiler.Check(prog, tbl)
+	}
+	for _, d := range res.Diags {
+		fmt.Fprintf(stderr, "%s\n", d)
+	}
+	if *stats {
+		s := res.Stats
+		fmt.Fprintf(stdout, "symbol table operations: enterblock=%d leaveblock=%d add=%d isInblock=%d retrieve=%d\n",
+			s.EnterBlock, s.LeaveBlock, s.Add, s.IsInBlock, s.Retrieve)
+	}
+	if len(diags) > 0 || len(res.Diags) > 0 {
+		return 1
+	}
+	fmt.Fprintf(stdout, "ok: %d identifier use(s) resolved\n", len(res.Uses))
+	return 0
+}
+
+func readSource(args []string, stdin io.Reader) (string, error) {
+	switch len(args) {
+	case 0:
+		b, err := io.ReadAll(stdin)
+		return string(b), err
+	case 1:
+		b, err := os.ReadFile(args[0])
+		return string(b), err
+	default:
+		return "", fmt.Errorf("at most one source file, got %d", len(args))
+	}
+}
+
+func pickTable(name string) (symtab.Table, error) {
+	switch name {
+	case "stack":
+		return symtab.NewStackTable(), nil
+	case "list":
+		return symtab.NewListTable(), nil
+	case "spec":
+		return symtab.NewSymbolic(speclib.BaseEnv().MustGet("Symboltable"))
+	default:
+		return nil, fmt.Errorf("unknown table implementation %q (want stack, list or spec)", name)
+	}
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cleanProgram = `
+begin
+  var x : int = 1;
+  begin
+    var y : int = x;
+    print y;
+  end
+end
+`
+
+const badProgram = `
+begin
+  print ghost;
+end
+`
+
+func runWith(t *testing.T, args []string, stdin string) (code int, out, errOut string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code = run(args, strings.NewReader(stdin), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestCleanProgramAllTables(t *testing.T) {
+	for _, table := range []string{"stack", "list", "spec"} {
+		code, out, errOut := runWith(t, []string{"-table", table}, cleanProgram)
+		if code != 0 {
+			t.Errorf("%s: exit %d, stderr %q", table, code, errOut)
+		}
+		if !strings.Contains(out, "2 identifier use(s) resolved") {
+			t.Errorf("%s: stdout %q", table, out)
+		}
+	}
+}
+
+func TestDiagnosticsAndExitCode(t *testing.T) {
+	code, _, errOut := runWith(t, nil, badProgram)
+	if code != 1 {
+		t.Errorf("exit = %d", code)
+	}
+	if !strings.Contains(errOut, "ghost undeclared") {
+		t.Errorf("stderr = %q", errOut)
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	code, out, _ := runWith(t, []string{"-stats"}, cleanProgram)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "enterblock=1 leaveblock=1 add=2") {
+		t.Errorf("stats output = %q", out)
+	}
+}
+
+func TestKnowsMode(t *testing.T) {
+	src := `
+begin
+  var a : int = 1;
+  var b : int = 2;
+  begin knows a;
+    print a;
+    print b;
+  end
+end
+`
+	code, _, errOut := runWith(t, []string{"-knows"}, src)
+	if code != 1 {
+		t.Errorf("exit = %d", code)
+	}
+	if !strings.Contains(errOut, "knows list") {
+		t.Errorf("stderr = %q", errOut)
+	}
+}
+
+func TestFileInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.blk")
+	if err := os.WriteFile(path, []byte(cleanProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runWith(t, []string{path}, "")
+	if code != 0 || !strings.Contains(out, "resolved") {
+		t.Errorf("exit = %d, out = %q", code, out)
+	}
+	// Missing file.
+	code, _, errOut := runWith(t, []string{filepath.Join(dir, "nope.blk")}, "")
+	if code != 1 || !strings.Contains(errOut, "blockc:") {
+		t.Errorf("exit = %d, stderr = %q", code, errOut)
+	}
+	// Too many files.
+	code, _, _ = runWith(t, []string{path, path}, "")
+	if code != 1 {
+		t.Errorf("two files: exit = %d", code)
+	}
+}
+
+func TestBadTableFlag(t *testing.T) {
+	code, _, errOut := runWith(t, []string{"-table", "wat"}, cleanProgram)
+	if code != 2 || !strings.Contains(errOut, "unknown table") {
+		t.Errorf("exit = %d, stderr = %q", code, errOut)
+	}
+}
+
+func TestParseErrorExit(t *testing.T) {
+	code, _, errOut := runWith(t, nil, "begin var ; end")
+	if code != 1 || errOut == "" {
+		t.Errorf("exit = %d, stderr = %q", code, errOut)
+	}
+}

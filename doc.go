@@ -1,0 +1,34 @@
+// Package algspec is a Go realization of John Guttag's "Abstract Data
+// Types and the Development of Data Structures" (CACM 20(6), June 1977):
+// an algebraic specification framework for abstract data types, together
+// with the paper's worked examples and the tooling the paper describes.
+//
+// The packages under internal/ form the system:
+//
+//   - sig, term, subst: sorts, operation signatures, the term algebra,
+//     matching and unification;
+//   - ast, lang, sema, spec: the specification language (syntax shaped
+//     after the paper's notation), its parser, and semantic analysis;
+//   - rewrite: the operational reading of a specification — axioms as
+//     left-to-right rules with the paper's strict error value and lazy
+//     conditional;
+//   - gen: ground-term generation, the finite quantifier behind every
+//     checker;
+//   - complete, consist: sufficient-completeness (Guttag's thesis notion)
+//     and consistency checking;
+//   - model: checking native Go implementations against specifications;
+//   - homo, reps: the §4 method for verifying a representation through
+//     an abstraction function Φ, with the paper's Assumption 1;
+//   - speclib: the paper's specifications (Queue, Bounded Queue,
+//     Symboltable, Stack, Array, Knowlist, both symbol-table
+//     representations) plus supporting types;
+//   - adt/...: production Go implementations of every type, each with an
+//     adapter binding it to its specification as a test oracle;
+//   - compiler: a block-structured-language front end whose symbol table
+//     is any implementation of the Symboltable specification — including
+//     the specification itself, interpreted symbolically (§5);
+//   - core: the facade tying everything together.
+//
+// The benchmarks in bench_test.go regenerate the paper-facing experiment
+// results indexed in DESIGN.md and recorded in EXPERIMENTS.md.
+package algspec

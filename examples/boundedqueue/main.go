@@ -1,0 +1,86 @@
+// Boundedqueue: the paper's §4 demonstration that the abstraction
+// function Φ "may not have a proper inverse" — the mapping from abstract
+// values to representations is one-to-many.
+//
+// The paper gives two program segments over a bounded queue (maximum
+// length three) represented by a ring buffer with a top pointer:
+//
+//	x := EMPTY.Q                    x := EMPTY.Q
+//	x := ADD.Q(x, A)                x := ADD.Q(x, B)
+//	x := ADD.Q(x, B)                x := ADD.Q(x, C)
+//	x := ADD.Q(x, C)                x := ADD.Q(x, D)
+//	x := REMOVE.Q(x)
+//	x := ADD.Q(x, D)
+//
+// Both leave the abstract queue ⟨B, C, D⟩, but the ring buffers differ:
+// the first holds [D, B, C] with the top pointer at index 1, the second
+// [B, C, D] with the pointer at 0. Raw shows the difference; Abstract
+// (the implementation of Φ) erases it.
+//
+// Run with: go run ./examples/boundedqueue
+package main
+
+import (
+	"fmt"
+	"log"
+	"reflect"
+
+	"algspec/internal/adt/boundedqueue"
+	"algspec/internal/speclib"
+)
+
+func main() {
+	// First program segment: add A, B, C; remove; add D.
+	x := boundedqueue.New[string](3)
+	x = mustAdd(x, "A")
+	x = mustAdd(x, "B")
+	x = mustAdd(x, "C")
+	x, err := x.Remove()
+	if err != nil {
+		log.Fatal(err)
+	}
+	x = mustAdd(x, "D")
+
+	// Second program segment: add B, C, D.
+	y := boundedqueue.New[string](3)
+	y = mustAdd(y, "B")
+	y = mustAdd(y, "C")
+	y = mustAdd(y, "D")
+
+	fmt.Println("representation states (ring buffer + top pointer):")
+	fmt.Printf("  segment 1: buf=%v head=%d\n", x.Raw().Buf, x.Raw().Head)
+	fmt.Printf("  segment 2: buf=%v head=%d\n", y.Raw().Buf, y.Raw().Head)
+	fmt.Println("abstract values (Φ images):")
+	fmt.Printf("  segment 1: %v\n", x.Abstract())
+	fmt.Printf("  segment 2: %v\n", y.Abstract())
+
+	sameRep := reflect.DeepEqual(x.Raw(), y.Raw())
+	sameAbs := reflect.DeepEqual(x.Abstract(), y.Abstract())
+	fmt.Printf("\nrepresentations equal: %v; abstract values equal: %v\n", sameRep, sameAbs)
+	fmt.Println("=> Φ⁻¹ is one-to-many, exactly as the paper observes.")
+
+	// The algebraic specification agrees: both op sequences rewrite to
+	// the same normal form.
+	env := speclib.BaseEnv()
+	seg1 := "addq(removeq(addq(addq(addq(emptyq,'A),'B),'C)),'D)"
+	seg2 := "addq(addq(addq(emptyq,'B),'C),'D)"
+	n1 := env.MustEval("BoundedQueue", seg1)
+	n2 := env.MustEval("BoundedQueue", seg2)
+	fmt.Printf("\nspec normal forms:\n  %s\n  %s\nequal: %v\n", n1, n2, n1.Equal(n2))
+
+	// Overflow is the boundary condition: a fourth add errors in both
+	// worlds.
+	if _, err := y.Add("E"); err != nil {
+		fmt.Printf("\nadding a 4th element natively:   %v\n", err)
+	}
+	fmt.Printf("adding a 4th element in the spec: sizeq(addq(%s,'E)) = %s\n",
+		seg2, env.MustEval("BoundedQueue", "sizeq(addq("+seg2+",'E))"))
+}
+
+func mustAdd(q boundedqueue.Queue[string], x string) boundedqueue.Queue[string] {
+	out, err := q.Add(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+// Devcycle: the paper's title — "Abstract Data Types and the
+// *Development* of Data Structures" — acted out as a workflow:
+//
+//  1. write an algebraic specification first, while the representation
+//     is still open;
+//  2. let the sufficient-completeness checker prompt for the forgotten
+//     boundary case (exactly what Guttag's system did);
+//  3. fix the axioms; check consistency;
+//  4. only then choose a representation — and let the specification,
+//     as test oracle, judge the implementation;
+//  5. keep the specification as the module's contract: a second, faster
+//     representation must pass the same oracle unchanged.
+//
+// The type developed here is a bounded stack ("a pushdown store that
+// refuses a 65th plate"), not one of the paper's own examples.
+//
+// Run with: go run ./examples/devcycle
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"algspec/internal/complete"
+	"algspec/internal/consist"
+	"algspec/internal/core"
+	"algspec/internal/model"
+	"algspec/internal/sig"
+	"algspec/internal/speclib"
+	"algspec/internal/term"
+)
+
+// Step 1: the first draft. The author remembered that pop/top of an
+// empty stack are errors, but forgot what pushing onto a FULL stack
+// means — the checker will say so.
+const draft = `
+spec BStack
+  uses Bool, Nat
+  param Item
+
+  ops
+    empty    : -> BStack
+    push     : BStack, Item -> BStack
+    pop      : BStack -> BStack
+    top      : BStack -> Item
+    depth    : BStack -> Nat
+    isFullB? : BStack -> Bool
+    limit    : -> Nat
+
+  vars
+    s : BStack
+    i : Item
+
+  axioms
+    [l]  limit = succ(succ(zero))
+    [f]  isFullB?(s) = eqN(depth(s), limit)
+    [p1] pop(empty) = error
+    [p2] pop(push(s, i)) = s
+    [t1] top(empty) = error
+    [t2] top(push(s, i)) = if isFullB?(s) then error else i
+    [d1] depth(empty) = zero
+end
+`
+
+// Step 3: the fixed specification — depth now covers push, and the
+// overflow behaviour is explicit: a push onto a full stack is
+// observationally erroneous.
+const fixed = `
+spec BStack
+  uses Bool, Nat
+  param Item
+
+  ops
+    empty    : -> BStack
+    push     : BStack, Item -> BStack
+    pop      : BStack -> BStack
+    top      : BStack -> Item
+    depth    : BStack -> Nat
+    isFullB? : BStack -> Bool
+    limit    : -> Nat
+
+  vars
+    s : BStack
+    i : Item
+
+  axioms
+    [l]  limit = succ(succ(zero))
+    [f]  isFullB?(s) = eqN(depth(s), limit)
+    [p1] pop(empty) = error
+    [p2] pop(push(s, i)) = if isFullB?(s) then error else s
+    [t1] top(empty) = error
+    [t2] top(push(s, i)) = if isFullB?(s) then error else i
+    [d1] depth(empty) = zero
+    [d2] depth(push(s, i)) = if isFullB?(s) then error else succ(depth(s))
+end
+`
+
+// Step 4: a representation, chosen only now — a slice with a cap.
+type bstack struct {
+	items []string
+}
+
+var errBStack = errors.New("bstack: boundary")
+
+const limit = 2
+
+func (b bstack) push(x string) (bstack, error) {
+	if len(b.items) >= limit {
+		return b, errBStack
+	}
+	return bstack{items: append(append([]string(nil), b.items...), x)}, nil
+}
+
+func (b bstack) pop() (bstack, error) {
+	if len(b.items) == 0 {
+		return b, errBStack
+	}
+	return bstack{items: b.items[:len(b.items)-1]}, nil
+}
+
+func (b bstack) top() (string, error) {
+	if len(b.items) == 0 {
+		return "", errBStack
+	}
+	return b.items[len(b.items)-1], nil
+}
+
+func main() {
+	env := core.NewEnv()
+	env.MustLoad(speclib.Sources...)
+
+	// --- Step 2: the checker prompts for what the author overlooked.
+	draftEnv := core.NewEnv()
+	draftEnv.MustLoad(speclib.Bool, speclib.Nat)
+	sps, err := draftEnv.Load(draft)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("step 2 — check the draft:")
+	fmt.Print(complete.Check(sps[0]))
+
+	// --- Step 3: fix and re-check.
+	sps2, err := env.Load(fixed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp := sps2[0]
+	fmt.Println("\nstep 3 — the fixed specification:")
+	fmt.Print(complete.Check(sp))
+	fmt.Print(consist.Check(sp))
+
+	// --- Step 5: the specification judges the implementation.
+	impl := adapter()
+	rep := model.CheckAxioms(sp, impl, model.Config{Depth: 4, MaxInstancesPerAxiom: 500})
+	fmt.Println("\nstep 5 — the spec as test oracle for the slice representation:")
+	fmt.Print(rep)
+	if !rep.OK() {
+		log.Fatal("implementation rejected")
+	}
+	fmt.Println("\nthe representation was chosen last, and the contract never changed —")
+	fmt.Println("which is the paper's whole point.")
+}
+
+// adapter wires the Go type into the model-checking harness.
+func adapter() *model.Impl {
+	apply := func(op string, args []model.Value) (model.Value, error) {
+		asB := func(v model.Value) bstack { return v.(bstack) }
+		switch op {
+		case "true":
+			return true, nil
+		case "false":
+			return false, nil
+		case "not":
+			return !args[0].(bool), nil
+		case "and":
+			return args[0].(bool) && args[1].(bool), nil
+		case "or":
+			return args[0].(bool) || args[1].(bool), nil
+		case "zero":
+			return 0, nil
+		case "succ":
+			return args[0].(int) + 1, nil
+		case "pred":
+			if args[0].(int) == 0 {
+				return model.ErrValue, nil
+			}
+			return args[0].(int) - 1, nil
+		case "addN":
+			return args[0].(int) + args[1].(int), nil
+		case "eqN":
+			return args[0].(int) == args[1].(int), nil
+		case "ltN":
+			return args[0].(int) < args[1].(int), nil
+		case "limit":
+			return limit, nil
+		case "empty":
+			return bstack{}, nil
+		case "push":
+			out, err := asB(args[0]).push(args[1].(string))
+			if err != nil {
+				return model.ErrValue, nil
+			}
+			return out, nil
+		case "pop":
+			out, err := asB(args[0]).pop()
+			if err != nil {
+				return model.ErrValue, nil
+			}
+			return out, nil
+		case "top":
+			x, err := asB(args[0]).top()
+			if err != nil {
+				return model.ErrValue, nil
+			}
+			return x, nil
+		case "depth":
+			return len(asB(args[0]).items), nil
+		case "isFullB?":
+			return len(asB(args[0]).items) == limit, nil
+		default:
+			return nil, fmt.Errorf("devcycle: unknown op %s", op)
+		}
+	}
+	return &model.Impl{
+		SpecName: "BStack",
+		Apply:    apply,
+		Atom: func(so sig.Sort, spelling string) (model.Value, error) {
+			return spelling, nil
+		},
+		Reify: func(so sig.Sort, v model.Value) (*term.Term, bool, error) {
+			switch so {
+			case sig.BoolSort:
+				return term.Bool(v.(bool)), true, nil
+			case "Nat":
+				t := term.NewOp("zero", "Nat")
+				for i := 0; i < v.(int); i++ {
+					t = term.NewOp("succ", "Nat", t)
+				}
+				return t, true, nil
+			case "Item":
+				return term.NewAtom(v.(string), so), true, nil
+			default:
+				return nil, false, nil
+			}
+		},
+	}
+}

@@ -1,0 +1,84 @@
+// Induction: the §5 programme — "the algebraic specification of the
+// types used provides a set of powerful rules of inference" — taken to
+// its conclusion: proving program properties by structural (generator)
+// induction over the constructors, with lemma chaining.
+//
+// Run with: go run ./examples/induction
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"algspec/internal/induct"
+	"algspec/internal/sig"
+	"algspec/internal/speclib"
+)
+
+func main() {
+	env := speclib.BaseEnv()
+
+	// ---- Arithmetic: commutativity of addition, the classic chain.
+	fmt.Println("== Nat: commutativity of addition ==")
+	nat := induct.New(env.MustGet("Nat"))
+	prove(nat, "n", "addN(n, zero)", "n", vars("n:Nat"))
+	prove(nat, "m", "addN(m, succ(n))", "succ(addN(m, n))", vars("m:Nat", "n:Nat"))
+	prove(nat, "m", "addN(m, n)", "addN(n, m)", vars("m:Nat", "n:Nat"))
+
+	// ---- Lists: reverse is an involution, via its distribution lemma.
+	fmt.Println("== List: reverse is an involution ==")
+	list := induct.New(env.MustGet("List"))
+	prove(list, "l",
+		"reverseL(appendL(l, cons(e, nil)))", "cons(e, reverseL(l))",
+		vars("l:List", "e:Elem"))
+	prove(list, "l", "reverseL(reverseL(l))", "l", vars("l:List"))
+
+	// ---- The symbol table: a derived property of the paper's axioms.
+	fmt.Println("== Symboltable: enter/leave round trip ==")
+	st := induct.New(env.MustGet("Symboltable"))
+	prove(st, "symtab",
+		"retrieve(leaveblock(enterblock(symtab)), id)", "retrieve(symtab, id)",
+		vars("symtab:Symboltable", "id:Identifier"))
+
+	// ---- And honesty: a false conjecture stays unproved.
+	fmt.Println("== A false conjecture ==")
+	eq, err := list.ParseEquation("appendL(l, k)", "appendL(k, l)",
+		vars("l:List", "k:List"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	proof, err := list.Prove(eq, "l")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(proof)
+}
+
+func prove(p *induct.Prover, on, lhs, rhs string, vs map[string]sig.Sort) {
+	eq, err := p.ParseEquation(lhs, rhs, vs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proof, err := p.Prove(eq, on)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(proof)
+	if !proof.Proved() {
+		log.Fatalf("unexpectedly unproved: %s", eq)
+	}
+	fmt.Println()
+}
+
+func vars(decls ...string) map[string]sig.Sort {
+	out := map[string]sig.Sort{}
+	for _, d := range decls {
+		for i := 0; i < len(d); i++ {
+			if d[i] == ':' {
+				out[d[:i]] = sig.Sort(d[i+1:])
+				break
+			}
+		}
+	}
+	return out
+}

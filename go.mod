@@ -1,0 +1,3 @@
+module algspec
+
+go 1.22

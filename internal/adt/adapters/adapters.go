@@ -1,0 +1,787 @@
+// Package adapters binds every native ADT in internal/adt to its
+// algebraic specification through the model-checking harness: each
+// adapter implements the whole flattened signature of its spec
+// (including the Bool, Nat and native-equality operations inherited
+// through uses), so the specification can serve as the implementation's
+// test oracle — the paper's §5 discipline of testing a module against
+// nothing but the algebraic definitions of its operations.
+package adapters
+
+import (
+	"fmt"
+
+	"algspec/internal/adt/array"
+	"algspec/internal/adt/boundedqueue"
+	"algspec/internal/adt/ident"
+	"algspec/internal/adt/knowlist"
+	"algspec/internal/adt/list"
+	"algspec/internal/adt/queue"
+	"algspec/internal/adt/set"
+	"algspec/internal/adt/stack"
+	"algspec/internal/adt/symtab"
+	"algspec/internal/model"
+	"algspec/internal/sig"
+	"algspec/internal/spec"
+	"algspec/internal/term"
+)
+
+// opFunc evaluates one operation.
+type opFunc func(args []model.Value) (model.Value, error)
+
+// opTable is a dispatch table from operation name to evaluator.
+type opTable map[string]opFunc
+
+func (t opTable) apply(op string, args []model.Value) (model.Value, error) {
+	f, ok := t[op]
+	if !ok {
+		return nil, fmt.Errorf("adapters: operation %s not implemented", op)
+	}
+	return f(args)
+}
+
+// asBool / asInt / asString convert harness values with decent errors.
+func asBool(v model.Value) (bool, error) {
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("adapters: want bool, got %T", v)
+	}
+	return b, nil
+}
+
+func asInt(v model.Value) (int, error) {
+	n, ok := v.(int)
+	if !ok {
+		return 0, fmt.Errorf("adapters: want int, got %T", v)
+	}
+	return n, nil
+}
+
+func asString(v model.Value) (string, error) {
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("adapters: want string, got %T", v)
+	}
+	return s, nil
+}
+
+// boolOps implements the Bool specification over Go bools.
+func boolOps(t opTable) {
+	t["true"] = func([]model.Value) (model.Value, error) { return true, nil }
+	t["false"] = func([]model.Value) (model.Value, error) { return false, nil }
+	t["not"] = func(a []model.Value) (model.Value, error) {
+		b, err := asBool(a[0])
+		return !b, err
+	}
+	t["and"] = func(a []model.Value) (model.Value, error) {
+		x, err := asBool(a[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := asBool(a[1])
+		return x && y, err
+	}
+	t["or"] = func(a []model.Value) (model.Value, error) {
+		x, err := asBool(a[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := asBool(a[1])
+		return x || y, err
+	}
+}
+
+// natOps implements the Nat specification over Go ints.
+func natOps(t opTable) {
+	t["zero"] = func([]model.Value) (model.Value, error) { return 0, nil }
+	t["succ"] = func(a []model.Value) (model.Value, error) {
+		n, err := asInt(a[0])
+		return n + 1, err
+	}
+	t["pred"] = func(a []model.Value) (model.Value, error) {
+		n, err := asInt(a[0])
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return model.ErrValue, nil
+		}
+		return n - 1, nil
+	}
+	t["addN"] = func(a []model.Value) (model.Value, error) {
+		m, err := asInt(a[0])
+		if err != nil {
+			return nil, err
+		}
+		n, err := asInt(a[1])
+		return m + n, err
+	}
+	t["eqN"] = func(a []model.Value) (model.Value, error) {
+		m, err := asInt(a[0])
+		if err != nil {
+			return nil, err
+		}
+		n, err := asInt(a[1])
+		return m == n, err
+	}
+	t["ltN"] = func(a []model.Value) (model.Value, error) {
+		m, err := asInt(a[0])
+		if err != nil {
+			return nil, err
+		}
+		n, err := asInt(a[1])
+		return m < n, err
+	}
+}
+
+// sameOps implements the native atom equalities over Go strings.
+func sameOps(t opTable, names ...string) {
+	for _, name := range names {
+		t[name] = func(a []model.Value) (model.Value, error) {
+			x, err := asString(a[0])
+			if err != nil {
+				return nil, err
+			}
+			y, err := asString(a[1])
+			return x == y, err
+		}
+	}
+}
+
+// stdAtom injects atoms of any atom/param sort as their spelling.
+func stdAtom(so sig.Sort, spelling string) (model.Value, error) {
+	return spelling, nil
+}
+
+// stdReify reifies Bool, Nat and atom/parameter sorts; everything else is
+// hidden.
+func stdReify(sp *spec.Spec) func(so sig.Sort, v model.Value) (*term.Term, bool, error) {
+	return func(so sig.Sort, v model.Value) (*term.Term, bool, error) {
+		switch {
+		case so == sig.BoolSort:
+			b, err := asBool(v)
+			if err != nil {
+				return nil, false, err
+			}
+			return term.Bool(b), true, nil
+		case so == "Nat" && sp.Sig.HasSort("Nat"):
+			n, err := asInt(v)
+			if err != nil {
+				return nil, false, err
+			}
+			t := term.NewOp("zero", "Nat")
+			for i := 0; i < n; i++ {
+				t = term.NewOp("succ", "Nat", t)
+			}
+			return t, true, nil
+		case sp.Sig.IsAtomSort(so) || sp.Sig.IsParam(so):
+			s, err := asString(v)
+			if err != nil {
+				return nil, false, err
+			}
+			return term.NewAtom(s, so), true, nil
+		default:
+			return nil, false, nil
+		}
+	}
+}
+
+func build(sp *spec.Spec, t opTable) *model.Impl {
+	return &model.Impl{
+		SpecName: sp.Name,
+		Apply:    t.apply,
+		Atom:     stdAtom,
+		Reify:    stdReify(sp),
+	}
+}
+
+// Bool adapts the Go bool operations to the Bool spec.
+func Bool(sp *spec.Spec) *model.Impl {
+	t := opTable{}
+	boolOps(t)
+	return build(sp, t)
+}
+
+// Nat adapts Go ints to the Nat spec.
+func Nat(sp *spec.Spec) *model.Impl {
+	t := opTable{}
+	boolOps(t)
+	natOps(t)
+	return build(sp, t)
+}
+
+// Queue adapts queue.Queue to the Queue spec (Items are atoms, carried as
+// strings).
+func Queue(sp *spec.Spec) *model.Impl {
+	t := opTable{}
+	boolOps(t)
+	asQ := func(v model.Value) (queue.Queue[string], error) {
+		q, ok := v.(queue.Queue[string])
+		if !ok {
+			return queue.Queue[string]{}, fmt.Errorf("adapters: want Queue, got %T", v)
+		}
+		return q, nil
+	}
+	t["new"] = func([]model.Value) (model.Value, error) { return queue.New[string](), nil }
+	t["add"] = func(a []model.Value) (model.Value, error) {
+		q, err := asQ(a[0])
+		if err != nil {
+			return nil, err
+		}
+		x, err := asString(a[1])
+		if err != nil {
+			return nil, err
+		}
+		return q.Add(x), nil
+	}
+	t["front"] = func(a []model.Value) (model.Value, error) {
+		q, err := asQ(a[0])
+		if err != nil {
+			return nil, err
+		}
+		x, err := q.Front()
+		if err != nil {
+			return model.ErrValue, nil
+		}
+		return x, nil
+	}
+	t["remove"] = func(a []model.Value) (model.Value, error) {
+		q, err := asQ(a[0])
+		if err != nil {
+			return nil, err
+		}
+		out, err := q.Remove()
+		if err != nil {
+			return model.ErrValue, nil
+		}
+		return out, nil
+	}
+	t["isEmpty?"] = func(a []model.Value) (model.Value, error) {
+		q, err := asQ(a[0])
+		return q.IsEmpty(), err
+	}
+	return build(sp, t)
+}
+
+// BoundedQueue adapts boundedqueue.Queue (capacity 3, the paper's bound)
+// to the BoundedQueue spec.
+func BoundedQueue(sp *spec.Spec) *model.Impl {
+	t := opTable{}
+	boolOps(t)
+	natOps(t)
+	asQ := func(v model.Value) (boundedqueue.Queue[string], error) {
+		q, ok := v.(boundedqueue.Queue[string])
+		if !ok {
+			return boundedqueue.Queue[string]{}, fmt.Errorf("adapters: want BoundedQueue, got %T", v)
+		}
+		return q, nil
+	}
+	t["emptyq"] = func([]model.Value) (model.Value, error) { return boundedqueue.New[string](3), nil }
+	t["bound"] = func([]model.Value) (model.Value, error) { return 3, nil }
+	t["addq"] = func(a []model.Value) (model.Value, error) {
+		q, err := asQ(a[0])
+		if err != nil {
+			return nil, err
+		}
+		x, err := asString(a[1])
+		if err != nil {
+			return nil, err
+		}
+		out, err := q.Add(x)
+		if err != nil {
+			return model.ErrValue, nil
+		}
+		return out, nil
+	}
+	t["frontq"] = func(a []model.Value) (model.Value, error) {
+		q, err := asQ(a[0])
+		if err != nil {
+			return nil, err
+		}
+		x, err := q.Front()
+		if err != nil {
+			return model.ErrValue, nil
+		}
+		return x, nil
+	}
+	t["removeq"] = func(a []model.Value) (model.Value, error) {
+		q, err := asQ(a[0])
+		if err != nil {
+			return nil, err
+		}
+		out, err := q.Remove()
+		if err != nil {
+			return model.ErrValue, nil
+		}
+		return out, nil
+	}
+	t["isEmptyQ?"] = func(a []model.Value) (model.Value, error) {
+		q, err := asQ(a[0])
+		return q.IsEmpty(), err
+	}
+	t["isFullQ?"] = func(a []model.Value) (model.Value, error) {
+		q, err := asQ(a[0])
+		return q.IsFull(), err
+	}
+	t["sizeq"] = func(a []model.Value) (model.Value, error) {
+		q, err := asQ(a[0])
+		return q.Len(), err
+	}
+	return build(sp, t)
+}
+
+// arrayOps implements the Array spec operations over
+// array.Array[string].
+func arrayOps(t opTable) {
+	asA := func(v model.Value) (array.Array[string], error) {
+		a, ok := v.(array.Array[string])
+		if !ok {
+			return array.Array[string]{}, fmt.Errorf("adapters: want Array, got %T", v)
+		}
+		return a, nil
+	}
+	t["empty"] = func([]model.Value) (model.Value, error) { return array.New[string](), nil }
+	t["assign"] = func(a []model.Value) (model.Value, error) {
+		arr, err := asA(a[0])
+		if err != nil {
+			return nil, err
+		}
+		id, err := asString(a[1])
+		if err != nil {
+			return nil, err
+		}
+		val, err := asString(a[2])
+		if err != nil {
+			return nil, err
+		}
+		return arr.Assign(ident.Intern(id), val), nil
+	}
+	t["read"] = func(a []model.Value) (model.Value, error) {
+		arr, err := asA(a[0])
+		if err != nil {
+			return nil, err
+		}
+		id, err := asString(a[1])
+		if err != nil {
+			return nil, err
+		}
+		v, err := arr.Read(ident.Intern(id))
+		if err != nil {
+			return model.ErrValue, nil
+		}
+		return v, nil
+	}
+	t["isUndefined?"] = func(a []model.Value) (model.Value, error) {
+		arr, err := asA(a[0])
+		if err != nil {
+			return nil, err
+		}
+		id, err := asString(a[1])
+		return arr.IsUndefined(ident.Intern(id)), err
+	}
+}
+
+// Array adapts array.Array to the Array spec.
+func Array(sp *spec.Spec) *model.Impl {
+	t := opTable{}
+	boolOps(t)
+	sameOps(t, "same?")
+	arrayOps(t)
+	return build(sp, t)
+}
+
+// Stack adapts stack.Stack (of Arrays) to the Stack spec.
+func Stack(sp *spec.Spec) *model.Impl {
+	t := opTable{}
+	boolOps(t)
+	sameOps(t, "same?")
+	arrayOps(t)
+	asS := func(v model.Value) (stack.Stack[array.Array[string]], error) {
+		s, ok := v.(stack.Stack[array.Array[string]])
+		if !ok {
+			return stack.Stack[array.Array[string]]{}, fmt.Errorf("adapters: want Stack, got %T", v)
+		}
+		return s, nil
+	}
+	t["newstack"] = func([]model.Value) (model.Value, error) {
+		return stack.New[array.Array[string]](), nil
+	}
+	t["push"] = func(a []model.Value) (model.Value, error) {
+		s, err := asS(a[0])
+		if err != nil {
+			return nil, err
+		}
+		arr, ok := a[1].(array.Array[string])
+		if !ok {
+			return nil, fmt.Errorf("adapters: want Array, got %T", a[1])
+		}
+		return s.Push(arr), nil
+	}
+	t["pop"] = func(a []model.Value) (model.Value, error) {
+		s, err := asS(a[0])
+		if err != nil {
+			return nil, err
+		}
+		out, err := s.Pop()
+		if err != nil {
+			return model.ErrValue, nil
+		}
+		return out, nil
+	}
+	t["top"] = func(a []model.Value) (model.Value, error) {
+		s, err := asS(a[0])
+		if err != nil {
+			return nil, err
+		}
+		out, err := s.Top()
+		if err != nil {
+			return model.ErrValue, nil
+		}
+		return out, nil
+	}
+	t["isNewstack?"] = func(a []model.Value) (model.Value, error) {
+		s, err := asS(a[0])
+		return s.IsNew(), err
+	}
+	t["replace"] = func(a []model.Value) (model.Value, error) {
+		s, err := asS(a[0])
+		if err != nil {
+			return nil, err
+		}
+		arr, ok := a[1].(array.Array[string])
+		if !ok {
+			return nil, fmt.Errorf("adapters: want Array, got %T", a[1])
+		}
+		out, err := s.Replace(arr)
+		if err != nil {
+			return model.ErrValue, nil
+		}
+		return out, nil
+	}
+	return build(sp, t)
+}
+
+// Symboltable adapts a symtab.Table implementation to the Symboltable
+// spec. newTable supplies the representation under test (NewStackTable,
+// NewListTable, or a symbolic table).
+func Symboltable(sp *spec.Spec, newTable func() symtab.Table) *model.Impl {
+	t := opTable{}
+	boolOps(t)
+	sameOps(t, "same?")
+	asT := func(v model.Value) (symtab.Table, error) {
+		tbl, ok := v.(symtab.Table)
+		if !ok {
+			return nil, fmt.Errorf("adapters: want symtab.Table, got %T", v)
+		}
+		return tbl, nil
+	}
+	t["init"] = func([]model.Value) (model.Value, error) { return newTable(), nil }
+	t["enterblock"] = func(a []model.Value) (model.Value, error) {
+		tbl, err := asT(a[0])
+		if err != nil {
+			return nil, err
+		}
+		return tbl.EnterBlock(), nil
+	}
+	t["leaveblock"] = func(a []model.Value) (model.Value, error) {
+		tbl, err := asT(a[0])
+		if err != nil {
+			return nil, err
+		}
+		out, err := tbl.LeaveBlock()
+		if err != nil {
+			return model.ErrValue, nil
+		}
+		return out, nil
+	}
+	t["add"] = func(a []model.Value) (model.Value, error) {
+		tbl, err := asT(a[0])
+		if err != nil {
+			return nil, err
+		}
+		id, err := asString(a[1])
+		if err != nil {
+			return nil, err
+		}
+		attrs, err := asString(a[2])
+		if err != nil {
+			return nil, err
+		}
+		return tbl.Add(ident.Intern(id), attrs), nil
+	}
+	t["isInblock?"] = func(a []model.Value) (model.Value, error) {
+		tbl, err := asT(a[0])
+		if err != nil {
+			return nil, err
+		}
+		id, err := asString(a[1])
+		return tbl.IsInBlock(ident.Intern(id)), err
+	}
+	t["retrieve"] = func(a []model.Value) (model.Value, error) {
+		tbl, err := asT(a[0])
+		if err != nil {
+			return nil, err
+		}
+		id, err := asString(a[1])
+		if err != nil {
+			return nil, err
+		}
+		attrs, err := tbl.Retrieve(ident.Intern(id))
+		if err != nil {
+			return model.ErrValue, nil
+		}
+		return attrs, nil
+	}
+	return build(sp, t)
+}
+
+// Knowlist adapts knowlist.List to the Knowlist spec.
+func Knowlist(sp *spec.Spec) *model.Impl {
+	t := opTable{}
+	boolOps(t)
+	sameOps(t, "same?")
+	knowlistOps(t)
+	return build(sp, t)
+}
+
+func knowlistOps(t opTable) {
+	asK := func(v model.Value) (knowlist.List, error) {
+		k, ok := v.(knowlist.List)
+		if !ok {
+			return knowlist.List{}, fmt.Errorf("adapters: want Knowlist, got %T", v)
+		}
+		return k, nil
+	}
+	t["create"] = func([]model.Value) (model.Value, error) { return knowlist.Create(), nil }
+	t["append"] = func(a []model.Value) (model.Value, error) {
+		k, err := asK(a[0])
+		if err != nil {
+			return nil, err
+		}
+		id, err := asString(a[1])
+		if err != nil {
+			return nil, err
+		}
+		return k.Append(ident.Intern(id)), nil
+	}
+	t["isIn?"] = func(a []model.Value) (model.Value, error) {
+		k, err := asK(a[0])
+		if err != nil {
+			return nil, err
+		}
+		id, err := asString(a[1])
+		return k.IsIn(ident.Intern(id)), err
+	}
+}
+
+// SymboltableKnows adapts symtab.KnowsTable to the SymboltableKnows spec.
+func SymboltableKnows(sp *spec.Spec) *model.Impl {
+	t := opTable{}
+	boolOps(t)
+	sameOps(t, "same?")
+	knowlistOps(t)
+	asT := func(v model.Value) (symtab.KnowsTable, error) {
+		tbl, ok := v.(symtab.KnowsTable)
+		if !ok {
+			return nil, fmt.Errorf("adapters: want symtab.KnowsTable, got %T", v)
+		}
+		return tbl, nil
+	}
+	t["init"] = func([]model.Value) (model.Value, error) { return symtab.NewKnowsTable(), nil }
+	t["enterblock"] = func(a []model.Value) (model.Value, error) {
+		tbl, err := asT(a[0])
+		if err != nil {
+			return nil, err
+		}
+		k, ok := a[1].(knowlist.List)
+		if !ok {
+			return nil, fmt.Errorf("adapters: want Knowlist, got %T", a[1])
+		}
+		return tbl.EnterBlock(k), nil
+	}
+	t["leaveblock"] = func(a []model.Value) (model.Value, error) {
+		tbl, err := asT(a[0])
+		if err != nil {
+			return nil, err
+		}
+		out, err := tbl.LeaveBlock()
+		if err != nil {
+			return model.ErrValue, nil
+		}
+		return out, nil
+	}
+	t["add"] = func(a []model.Value) (model.Value, error) {
+		tbl, err := asT(a[0])
+		if err != nil {
+			return nil, err
+		}
+		id, err := asString(a[1])
+		if err != nil {
+			return nil, err
+		}
+		attrs, err := asString(a[2])
+		if err != nil {
+			return nil, err
+		}
+		return tbl.Add(ident.Intern(id), attrs), nil
+	}
+	t["isInblock?"] = func(a []model.Value) (model.Value, error) {
+		tbl, err := asT(a[0])
+		if err != nil {
+			return nil, err
+		}
+		id, err := asString(a[1])
+		return tbl.IsInBlock(ident.Intern(id)), err
+	}
+	t["retrieve"] = func(a []model.Value) (model.Value, error) {
+		tbl, err := asT(a[0])
+		if err != nil {
+			return nil, err
+		}
+		id, err := asString(a[1])
+		if err != nil {
+			return nil, err
+		}
+		attrs, err := tbl.Retrieve(ident.Intern(id))
+		if err != nil {
+			return model.ErrValue, nil
+		}
+		return attrs, nil
+	}
+	return build(sp, t)
+}
+
+// Set adapts set.Set to the Set spec.
+func Set(sp *spec.Spec) *model.Impl {
+	t := opTable{}
+	boolOps(t)
+	natOps(t)
+	sameOps(t, "sameElem?")
+	asS := func(v model.Value) (set.Set[string], error) {
+		s, ok := v.(set.Set[string])
+		if !ok {
+			return set.Set[string]{}, fmt.Errorf("adapters: want Set, got %T", v)
+		}
+		return s, nil
+	}
+	t["emptyset"] = func([]model.Value) (model.Value, error) { return set.Empty[string](), nil }
+	t["insert"] = func(a []model.Value) (model.Value, error) {
+		s, err := asS(a[0])
+		if err != nil {
+			return nil, err
+		}
+		x, err := asString(a[1])
+		if err != nil {
+			return nil, err
+		}
+		return s.Insert(x), nil
+	}
+	t["isMember?"] = func(a []model.Value) (model.Value, error) {
+		s, err := asS(a[0])
+		if err != nil {
+			return nil, err
+		}
+		x, err := asString(a[1])
+		return s.IsMember(x), err
+	}
+	t["delete"] = func(a []model.Value) (model.Value, error) {
+		s, err := asS(a[0])
+		if err != nil {
+			return nil, err
+		}
+		x, err := asString(a[1])
+		if err != nil {
+			return nil, err
+		}
+		return s.Delete(x), nil
+	}
+	t["card"] = func(a []model.Value) (model.Value, error) {
+		s, err := asS(a[0])
+		return s.Card(), err
+	}
+	t["isEmptySet?"] = func(a []model.Value) (model.Value, error) {
+		s, err := asS(a[0])
+		return s.IsEmpty(), err
+	}
+	return build(sp, t)
+}
+
+// List adapts list.List to the List spec.
+func List(sp *spec.Spec) *model.Impl {
+	t := opTable{}
+	boolOps(t)
+	natOps(t)
+	sameOps(t, "sameElem?")
+	asL := func(v model.Value) (list.List[string], error) {
+		l, ok := v.(list.List[string])
+		if !ok {
+			return list.List[string]{}, fmt.Errorf("adapters: want List, got %T", v)
+		}
+		return l, nil
+	}
+	t["nil"] = func([]model.Value) (model.Value, error) { return list.Nil[string](), nil }
+	t["cons"] = func(a []model.Value) (model.Value, error) {
+		x, err := asString(a[0])
+		if err != nil {
+			return nil, err
+		}
+		l, err := asL(a[1])
+		if err != nil {
+			return nil, err
+		}
+		return l.Cons(x), nil
+	}
+	t["head"] = func(a []model.Value) (model.Value, error) {
+		l, err := asL(a[0])
+		if err != nil {
+			return nil, err
+		}
+		x, err := l.Head()
+		if err != nil {
+			return model.ErrValue, nil
+		}
+		return x, nil
+	}
+	t["tail"] = func(a []model.Value) (model.Value, error) {
+		l, err := asL(a[0])
+		if err != nil {
+			return nil, err
+		}
+		out, err := l.Tail()
+		if err != nil {
+			return model.ErrValue, nil
+		}
+		return out, nil
+	}
+	t["isNil?"] = func(a []model.Value) (model.Value, error) {
+		l, err := asL(a[0])
+		return l.IsNil(), err
+	}
+	t["appendL"] = func(a []model.Value) (model.Value, error) {
+		l, err := asL(a[0])
+		if err != nil {
+			return nil, err
+		}
+		k, err := asL(a[1])
+		if err != nil {
+			return nil, err
+		}
+		return l.Append(k), nil
+	}
+	t["lengthL"] = func(a []model.Value) (model.Value, error) {
+		l, err := asL(a[0])
+		return l.Length(), err
+	}
+	t["memberL?"] = func(a []model.Value) (model.Value, error) {
+		l, err := asL(a[0])
+		if err != nil {
+			return nil, err
+		}
+		x, err := asString(a[1])
+		return l.Member(x), err
+	}
+	t["reverseL"] = func(a []model.Value) (model.Value, error) {
+		l, err := asL(a[0])
+		return l.Reverse(), err
+	}
+	return build(sp, t)
+}

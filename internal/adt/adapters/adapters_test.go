@@ -1,0 +1,173 @@
+package adapters_test
+
+import (
+	"strings"
+	"testing"
+
+	"algspec/internal/adt/adapters"
+	"algspec/internal/adt/symtab"
+	"algspec/internal/model"
+	"algspec/internal/speclib"
+	"algspec/internal/term"
+)
+
+// Direct exercises of the adapter plumbing beyond what the model-check
+// suite covers (those live in internal/model).
+
+func TestBoolAdapterOps(t *testing.T) {
+	env := speclib.BaseEnv()
+	impl := adapters.Bool(env.MustGet("Bool"))
+	cases := []struct {
+		op   string
+		args []model.Value
+		want bool
+	}{
+		{"true", nil, true},
+		{"false", nil, false},
+		{"not", []model.Value{true}, false},
+		{"and", []model.Value{true, false}, false},
+		{"and", []model.Value{true, true}, true},
+		{"or", []model.Value{false, true}, true},
+		{"or", []model.Value{false, false}, false},
+	}
+	for _, c := range cases {
+		got, err := impl.Apply(c.op, c.args)
+		if err != nil {
+			t.Fatalf("%s: %v", c.op, err)
+		}
+		if got != c.want {
+			t.Errorf("%s(%v) = %v", c.op, c.args, got)
+		}
+	}
+}
+
+func TestNatAdapterBoundary(t *testing.T) {
+	env := speclib.BaseEnv()
+	impl := adapters.Nat(env.MustGet("Nat"))
+	got, err := impl.Apply("pred", []model.Value{0})
+	if err != nil || !model.IsErr(got) {
+		t.Errorf("pred(0) = %v, %v", got, err)
+	}
+	got, err = impl.Apply("addN", []model.Value{2, 3})
+	if err != nil || got != 5 {
+		t.Errorf("addN = %v, %v", got, err)
+	}
+}
+
+func TestUnknownOperation(t *testing.T) {
+	env := speclib.BaseEnv()
+	impl := adapters.Queue(env.MustGet("Queue"))
+	if _, err := impl.Apply("frobnicate", nil); err == nil ||
+		!strings.Contains(err.Error(), "not implemented") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTypeMismatchReported(t *testing.T) {
+	env := speclib.BaseEnv()
+	impl := adapters.Queue(env.MustGet("Queue"))
+	// front applied to a non-queue value.
+	if _, err := impl.Apply("front", []model.Value{42}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if _, err := impl.Apply("not", []model.Value{"notabool"}); err == nil {
+		t.Error("bool mismatch accepted")
+	}
+}
+
+func TestReifyShapes(t *testing.T) {
+	env := speclib.BaseEnv()
+	sp := env.MustGet("BoundedQueue")
+	impl := adapters.BoundedQueue(sp)
+
+	// Bool.
+	bt, ok, err := impl.Reify("Bool", true)
+	if err != nil || !ok || !bt.IsTrue() {
+		t.Errorf("Bool reify = %v %v %v", bt, ok, err)
+	}
+	// Nat as succ^n(zero).
+	nt, ok, err := impl.Reify("Nat", 3)
+	if err != nil || !ok || nt.String() != "succ(succ(succ(zero)))" {
+		t.Errorf("Nat reify = %v %v %v", nt, ok, err)
+	}
+	// Parameter sort as atom.
+	it, ok, err := impl.Reify("Item", "x")
+	if err != nil || !ok || it.Kind != term.Atom || it.Sym != "x" {
+		t.Errorf("Item reify = %v %v %v", it, ok, err)
+	}
+	// Hidden sort.
+	if _, ok, err := impl.Reify("BoundedQueue", nil); err != nil || ok {
+		t.Errorf("hidden sort reified: %v %v", ok, err)
+	}
+	// Wrong dynamic type is an error, not a silent pass.
+	if _, _, err := impl.Reify("Bool", "notabool"); err == nil {
+		t.Error("bad Bool value reified")
+	}
+	if _, _, err := impl.Reify("Nat", "notanint"); err == nil {
+		t.Error("bad Nat value reified")
+	}
+}
+
+func TestAtomInjection(t *testing.T) {
+	env := speclib.BaseEnv()
+	impl := adapters.Array(env.MustGet("Array"))
+	v, err := impl.Atom("Identifier", "someName")
+	if err != nil || v != "someName" {
+		t.Errorf("Atom = %v, %v", v, err)
+	}
+}
+
+// A quick in-package oracle pass over every adapter (the deep runs live
+// in internal/model; this one keeps the adapters' own op tables honest).
+func TestEveryAdapterQuickOracle(t *testing.T) {
+	env := speclib.BaseEnv()
+	adaptersByName := map[string]*model.Impl{
+		"Bool":             adapters.Bool(env.MustGet("Bool")),
+		"Nat":              adapters.Nat(env.MustGet("Nat")),
+		"Queue":            adapters.Queue(env.MustGet("Queue")),
+		"BoundedQueue":     adapters.BoundedQueue(env.MustGet("BoundedQueue")),
+		"Array":            adapters.Array(env.MustGet("Array")),
+		"Stack":            adapters.Stack(env.MustGet("Stack")),
+		"Knowlist":         adapters.Knowlist(env.MustGet("Knowlist")),
+		"SymboltableKnows": adapters.SymboltableKnows(env.MustGet("SymboltableKnows")),
+		"Set":              adapters.Set(env.MustGet("Set")),
+		"List":             adapters.List(env.MustGet("List")),
+		"Bag":              adapters.Bag(env.MustGet("Bag")),
+		"BST":              adapters.BST(env.MustGet("BST")),
+		"Map":              adapters.Map(env.MustGet("Map")),
+	}
+	for name, impl := range adaptersByName {
+		sp := env.MustGet(name)
+		cfg := model.Config{Depth: 3, MaxInstancesPerAxiom: 120}
+		if r := model.CheckAxioms(sp, impl, cfg); !r.OK() {
+			t.Errorf("%s axioms: %s", name, r)
+		}
+		if r := model.CheckAgainstSpec(sp, impl, cfg); !r.OK() {
+			t.Errorf("%s agreement: %s", name, r)
+		}
+	}
+	// The Symboltable adapter is parameterized by representation.
+	for repName, mk := range map[string]func() symtab.Table{
+		"stack": symtab.NewStackTable,
+		"list":  symtab.NewListTable,
+	} {
+		impl := adapters.Symboltable(env.MustGet("Symboltable"), mk)
+		if r := model.CheckAxioms(env.MustGet("Symboltable"), impl,
+			model.Config{Depth: 3, MaxInstancesPerAxiom: 120}); !r.OK() {
+			t.Errorf("Symboltable/%s: %s", repName, r)
+		}
+	}
+}
+
+func TestSameOpsCompareStrings(t *testing.T) {
+	env := speclib.BaseEnv()
+	impl := adapters.Array(env.MustGet("Array"))
+	eq, err := impl.Apply("same?", []model.Value{"a", "a"})
+	if err != nil || eq != true {
+		t.Errorf("same?(a,a) = %v, %v", eq, err)
+	}
+	ne, err := impl.Apply("same?", []model.Value{"a", "b"})
+	if err != nil || ne != false {
+		t.Errorf("same?(a,b) = %v, %v", ne, err)
+	}
+}

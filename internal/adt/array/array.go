@@ -1,0 +1,102 @@
+// Package array implements the paper's type Array (axioms 17–20): a
+// mapping from Identifiers to values, represented — as in the paper's
+// PL/I code — by a hash table of n buckets, each a linked list of
+// entries, with the bucket selected by HASH(id). ASSIGN prepends the new
+// entry to its bucket, so a later assignment to the same identifier
+// shadows an earlier one exactly as axioms 18 and 20 require (READ and
+// IS_UNDEFINED? scan the bucket front to back).
+//
+// Unlike the paper's code, Assign is persistent: it copies the bucket
+// header array (n pointers) and shares all entry nodes. The paper's
+// in-place version is only conditionally correct in the presence of
+// sharing; the persistent version satisfies the axioms unconditionally,
+// and costs O(n) per assignment — a representation trade-off the
+// specification leaves open.
+package array
+
+import (
+	"errors"
+
+	"algspec/internal/adt/ident"
+)
+
+// ErrUndefined is the boundary condition for Read of an unassigned
+// identifier (READ(EMPTY, id) = error).
+var ErrUndefined = errors.New("array: identifier undefined")
+
+// DefaultBuckets is the bucket count used by New.
+const DefaultBuckets = 16
+
+// Array is a persistent identifier-indexed map. The zero value is not
+// usable; call New or NewSized.
+type Array[V any] struct {
+	buckets []*entry[V]
+}
+
+// entry mirrors the PL/I structure: "2 id Identifier, 2 attributes
+// Attributelist, 2 next pointer".
+type entry[V any] struct {
+	id   ident.Identifier
+	val  V
+	next *entry[V]
+}
+
+// New returns the empty array with DefaultBuckets buckets (EMPTY').
+func New[V any]() Array[V] { return NewSized[V](DefaultBuckets) }
+
+// NewSized returns an empty array with n buckets.
+func NewSized[V any](n int) Array[V] {
+	if n <= 0 {
+		panic("array: bucket count must be positive")
+	}
+	return Array[V]{buckets: make([]*entry[V], n)}
+}
+
+// Assign returns the array with id bound to v, shadowing any earlier
+// binding (ASSIGN').
+func (a Array[V]) Assign(id ident.Identifier, v V) Array[V] {
+	buckets := make([]*entry[V], len(a.buckets))
+	copy(buckets, a.buckets)
+	k := id.Hash(len(buckets))
+	buckets[k] = &entry[V]{id: id, val: v, next: buckets[k]}
+	return Array[V]{buckets: buckets}
+}
+
+// Read returns the value most recently assigned to id (READ').
+func (a Array[V]) Read(id ident.Identifier) (V, error) {
+	k := id.Hash(len(a.buckets))
+	for e := a.buckets[k]; e != nil; e = e.next {
+		if e.id.Same(id) {
+			return e.val, nil
+		}
+	}
+	var zero V
+	return zero, ErrUndefined
+}
+
+// IsUndefined reports whether id has no binding (IS_UNDEFINED?').
+func (a Array[V]) IsUndefined(id ident.Identifier) bool {
+	k := id.Hash(len(a.buckets))
+	for e := a.buckets[k]; e != nil; e = e.next {
+		if e.id.Same(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Identifiers returns the identifiers with live (unshadowed) bindings, in
+// unspecified order.
+func (a Array[V]) Identifiers() []ident.Identifier {
+	var out []ident.Identifier
+	seen := make(map[string]bool)
+	for _, b := range a.buckets {
+		for e := b; e != nil; e = e.next {
+			if !seen[e.id.Name()] {
+				seen[e.id.Name()] = true
+				out = append(out, e.id)
+			}
+		}
+	}
+	return out
+}

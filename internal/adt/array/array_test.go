@@ -1,0 +1,130 @@
+package array_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"algspec/internal/adt/array"
+	"algspec/internal/adt/ident"
+)
+
+func id(s string) ident.Identifier { return ident.Intern(s) }
+
+func TestBasics(t *testing.T) {
+	a := array.New[string]()
+	if !a.IsUndefined(id("x")) {
+		t.Error("fresh array defines x")
+	}
+	if _, err := a.Read(id("x")); !errors.Is(err, array.ErrUndefined) {
+		t.Errorf("Read: %v", err)
+	}
+	a2 := a.Assign(id("x"), "v1")
+	if a2.IsUndefined(id("x")) {
+		t.Error("assigned x undefined")
+	}
+	v, err := a2.Read(id("x"))
+	if err != nil || v != "v1" {
+		t.Errorf("Read = %q, %v", v, err)
+	}
+	// Other identifiers remain undefined.
+	if !a2.IsUndefined(id("y")) {
+		t.Error("y defined")
+	}
+}
+
+// Axioms 18/20: a later assignment shadows an earlier one.
+func TestShadowing(t *testing.T) {
+	a := array.New[int]().Assign(id("x"), 1).Assign(id("x"), 2)
+	v, err := a.Read(id("x"))
+	if err != nil || v != 2 {
+		t.Errorf("Read = %d, %v", v, err)
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	a1 := array.New[int]().Assign(id("x"), 1)
+	a2 := a1.Assign(id("x"), 2)
+	a3 := a1.Assign(id("y"), 3)
+	if v, _ := a1.Read(id("x")); v != 1 {
+		t.Error("a1 mutated")
+	}
+	if v, _ := a2.Read(id("x")); v != 2 {
+		t.Error("a2 wrong")
+	}
+	if !a2.IsUndefined(id("y")) {
+		t.Error("a2 sees a3's assignment")
+	}
+	if v, _ := a3.Read(id("y")); v != 3 {
+		t.Error("a3 wrong")
+	}
+}
+
+// Bucket collisions are handled: with a single bucket every identifier
+// collides, and behaviour is unchanged.
+func TestCollisions(t *testing.T) {
+	a := array.NewSized[int](1)
+	for i := 0; i < 20; i++ {
+		a = a.Assign(id(fmt.Sprintf("v%d", i)), i)
+	}
+	for i := 0; i < 20; i++ {
+		v, err := a.Read(id(fmt.Sprintf("v%d", i)))
+		if err != nil || v != i {
+			t.Errorf("v%d = %d, %v", i, v, err)
+		}
+	}
+	if !a.IsUndefined(id("other")) {
+		t.Error("undefined identifier found in single bucket")
+	}
+}
+
+func TestNewSizedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bucket count 0 accepted")
+		}
+	}()
+	array.NewSized[int](0)
+}
+
+func TestIdentifiers(t *testing.T) {
+	a := array.New[int]().
+		Assign(id("x"), 1).
+		Assign(id("y"), 2).
+		Assign(id("x"), 3) // shadowed, reported once
+	ids := a.Identifiers()
+	if len(ids) != 2 {
+		t.Errorf("Identifiers = %v", ids)
+	}
+}
+
+// Property: the array agrees with a map model (latest assignment wins).
+func TestQuickAgainstMapModel(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	f := func(ops []uint8) bool {
+		a := array.NewSized[uint8](4)
+		model := map[string]uint8{}
+		for _, o := range ops {
+			name := names[int(o)%len(names)]
+			a = a.Assign(id(name), o)
+			model[name] = o
+		}
+		for _, name := range names {
+			want, ok := model[name]
+			if ok != !a.IsUndefined(id(name)) {
+				return false
+			}
+			if ok {
+				got, err := a.Read(id(name))
+				if err != nil || got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+// Package bag implements the library's Bag specification: a persistent
+// multiset. The representation — a count map copied on write — is
+// invisible through the operations; insertion order, which the map
+// forgets, is exactly what the specification makes unobservable.
+package bag
+
+// Bag is a persistent multiset. The zero value is the empty bag.
+type Bag[T comparable] struct {
+	counts map[T]int
+	size   int
+}
+
+// Empty returns the empty bag.
+func Empty[T comparable]() Bag[T] { return Bag[T]{} }
+
+// Of builds a bag from elements (with multiplicity).
+func Of[T comparable](xs ...T) Bag[T] {
+	b := Empty[T]()
+	for _, x := range xs {
+		b = b.Insert(x)
+	}
+	return b
+}
+
+func (b Bag[T]) clone() map[T]int {
+	out := make(map[T]int, len(b.counts)+1)
+	for k, v := range b.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Insert adds one occurrence of x.
+func (b Bag[T]) Insert(x T) Bag[T] {
+	m := b.clone()
+	m[x]++
+	return Bag[T]{counts: m, size: b.size + 1}
+}
+
+// Delete removes one occurrence of x (a no-op when absent).
+func (b Bag[T]) Delete(x T) Bag[T] {
+	if b.counts[x] == 0 {
+		return b
+	}
+	m := b.clone()
+	if m[x] == 1 {
+		delete(m, x)
+	} else {
+		m[x]--
+	}
+	return Bag[T]{counts: m, size: b.size - 1}
+}
+
+// Count returns the multiplicity of x.
+func (b Bag[T]) Count(x T) int { return b.counts[x] }
+
+// Member reports whether x occurs at least once.
+func (b Bag[T]) Member(x T) bool { return b.counts[x] > 0 }
+
+// Size returns the total number of occurrences.
+func (b Bag[T]) Size() int { return b.size }
+
+// IsEmpty reports whether the bag holds nothing.
+func (b Bag[T]) IsEmpty() bool { return b.size == 0 }

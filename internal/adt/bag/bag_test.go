@@ -1,0 +1,78 @@
+package bag_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"algspec/internal/adt/bag"
+)
+
+func TestBasics(t *testing.T) {
+	b := bag.Empty[string]()
+	if !b.IsEmpty() || b.Size() != 0 || b.Member("x") || b.Count("x") != 0 {
+		t.Error("fresh bag state wrong")
+	}
+	b = b.Insert("x").Insert("x").Insert("y")
+	if b.Size() != 3 || b.Count("x") != 2 || b.Count("y") != 1 {
+		t.Errorf("counts: size=%d x=%d y=%d", b.Size(), b.Count("x"), b.Count("y"))
+	}
+	if !b.Member("x") || b.Member("z") {
+		t.Error("membership wrong")
+	}
+}
+
+func TestDeleteOneOccurrence(t *testing.T) {
+	b := bag.Of("x", "x", "y")
+	b1 := b.Delete("x")
+	if b1.Count("x") != 1 || b1.Size() != 2 {
+		t.Errorf("after one delete: x=%d size=%d", b1.Count("x"), b1.Size())
+	}
+	b2 := b1.Delete("x")
+	if b2.Count("x") != 0 || b2.Member("x") {
+		t.Error("x survives two deletes")
+	}
+	// Deleting an absent element is a no-op.
+	if b2.Delete("zz").Size() != b2.Size() {
+		t.Error("phantom delete changed size")
+	}
+	// Persistence.
+	if b.Count("x") != 2 {
+		t.Error("original mutated")
+	}
+}
+
+// Property: bag agrees with a count-map model.
+func TestQuickAgainstMapModel(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	f := func(ops []uint8) bool {
+		b := bag.Empty[string]()
+		model := map[string]int{}
+		total := 0
+		for _, o := range ops {
+			n := names[int(o)%len(names)]
+			if o%3 == 0 {
+				b = b.Delete(n)
+				if model[n] > 0 {
+					model[n]--
+					total--
+				}
+			} else {
+				b = b.Insert(n)
+				model[n]++
+				total++
+			}
+		}
+		if b.Size() != total {
+			return false
+		}
+		for _, n := range names {
+			if b.Count(n) != model[n] || b.Member(n) != (model[n] > 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+// Package boundedqueue implements the paper's Bounded Queue — "a
+// reasonable representation of the values of this type might be based on
+// a ring-buffer and top pointer" (§4) — and exposes enough of the
+// representation to demonstrate the paper's point about the abstraction
+// function: Φ may not have a proper inverse; the mapping from abstract
+// values to representations is one-to-many. Two different sequences of
+// operations can leave the ring buffer in visibly different states that
+// denote the same abstract queue; Raw shows the difference, Abstract
+// (which plays the role of Φ) erases it.
+//
+// Queues are immutable values: Add and Remove copy the small fixed-size
+// buffer.
+package boundedqueue
+
+import "errors"
+
+// Errors for the boundary conditions.
+var (
+	ErrEmpty = errors.New("boundedqueue: empty")
+	ErrFull  = errors.New("boundedqueue: full")
+)
+
+// Queue is a persistent bounded FIFO queue over a ring buffer. The zero
+// value is unusable; call New.
+type Queue[T any] struct {
+	buf  []T
+	head int // index of the front element
+	size int
+}
+
+// RawState is a snapshot of the representation: the physical buffer
+// including stale slots, and the top (head) pointer — what the paper's
+// two ring-buffer diagrams show.
+type RawState[T any] struct {
+	Buf  []T
+	Head int
+	Size int
+}
+
+// New returns an empty queue with the given capacity (the paper's
+// example uses 3).
+func New[T any](capacity int) Queue[T] {
+	if capacity <= 0 {
+		panic("boundedqueue: capacity must be positive")
+	}
+	return Queue[T]{buf: make([]T, capacity)}
+}
+
+// Cap returns the queue's capacity.
+func (q Queue[T]) Cap() int { return len(q.buf) }
+
+// Len returns the number of elements.
+func (q Queue[T]) Len() int { return q.size }
+
+// IsEmpty reports whether the queue holds no elements.
+func (q Queue[T]) IsEmpty() bool { return q.size == 0 }
+
+// IsFull reports whether the queue is at capacity.
+func (q Queue[T]) IsFull() bool { return q.size == len(q.buf) }
+
+// Add enqueues an element; ErrFull is the overflow boundary condition.
+func (q Queue[T]) Add(x T) (Queue[T], error) {
+	if q.IsFull() {
+		return q, ErrFull
+	}
+	buf := make([]T, len(q.buf))
+	copy(buf, q.buf)
+	buf[(q.head+q.size)%len(buf)] = x
+	return Queue[T]{buf: buf, head: q.head, size: q.size + 1}, nil
+}
+
+// Front returns the oldest element.
+func (q Queue[T]) Front() (T, error) {
+	if q.size == 0 {
+		var zero T
+		return zero, ErrEmpty
+	}
+	return q.buf[q.head], nil
+}
+
+// Remove dequeues the oldest element. The vacated slot is left stale in
+// the buffer, exactly as in the paper's diagrams — the abstraction
+// function ignores it.
+func (q Queue[T]) Remove() (Queue[T], error) {
+	if q.size == 0 {
+		return q, ErrEmpty
+	}
+	return Queue[T]{buf: q.buf, head: (q.head + 1) % len(q.buf), size: q.size - 1}, nil
+}
+
+// Raw exposes the representation for the Φ demonstration.
+func (q Queue[T]) Raw() RawState[T] {
+	buf := make([]T, len(q.buf))
+	copy(buf, q.buf)
+	return RawState[T]{Buf: buf, Head: q.head, Size: q.size}
+}
+
+// Abstract computes the abstract value the representation denotes — the
+// logical contents in dequeue order. It is the implementation of the
+// paper's Φ for this type.
+func (q Queue[T]) Abstract() []T {
+	out := make([]T, 0, q.size)
+	for i := 0; i < q.size; i++ {
+		out = append(out, q.buf[(q.head+i)%len(q.buf)])
+	}
+	return out
+}

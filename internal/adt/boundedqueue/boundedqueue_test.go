@@ -1,0 +1,174 @@
+package boundedqueue_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"algspec/internal/adt/boundedqueue"
+)
+
+func mustAdd[T any](t *testing.T, q boundedqueue.Queue[T], x T) boundedqueue.Queue[T] {
+	t.Helper()
+	out, err := q.Add(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestBasics(t *testing.T) {
+	q := boundedqueue.New[string](3)
+	if !q.IsEmpty() || q.IsFull() || q.Len() != 0 || q.Cap() != 3 {
+		t.Error("fresh queue state wrong")
+	}
+	if _, err := q.Front(); !errors.Is(err, boundedqueue.ErrEmpty) {
+		t.Errorf("Front: %v", err)
+	}
+	if _, err := q.Remove(); !errors.Is(err, boundedqueue.ErrEmpty) {
+		t.Errorf("Remove: %v", err)
+	}
+	q = mustAdd(t, q, "a")
+	q = mustAdd(t, q, "b")
+	q = mustAdd(t, q, "c")
+	if !q.IsFull() {
+		t.Error("3/3 not full")
+	}
+	if _, err := q.Add("d"); !errors.Is(err, boundedqueue.ErrFull) {
+		t.Errorf("overflow: %v", err)
+	}
+	f, err := q.Front()
+	if err != nil || f != "a" {
+		t.Errorf("front = %q, %v", f, err)
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 0 accepted")
+		}
+	}()
+	boundedqueue.New[int](0)
+}
+
+// The paper's two program segments: distinct representations, identical
+// abstract values (Φ⁻¹ is one-to-many).
+func TestPhiOneToMany(t *testing.T) {
+	x := boundedqueue.New[string](3)
+	x = mustAdd(t, x, "A")
+	x = mustAdd(t, x, "B")
+	x = mustAdd(t, x, "C")
+	x, err := x.Remove()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x = mustAdd(t, x, "D")
+
+	y := boundedqueue.New[string](3)
+	y = mustAdd(t, y, "B")
+	y = mustAdd(t, y, "C")
+	y = mustAdd(t, y, "D")
+
+	if reflect.DeepEqual(x.Raw(), y.Raw()) {
+		t.Error("representations unexpectedly equal")
+	}
+	// As in the paper's diagrams: segment 1 leaves [D B C] with the top
+	// pointer at 1; segment 2 leaves [B C D] with it at 0.
+	if got := x.Raw(); !reflect.DeepEqual(got.Buf, []string{"D", "B", "C"}) || got.Head != 1 {
+		t.Errorf("segment 1 raw = %+v", got)
+	}
+	if got := y.Raw(); !reflect.DeepEqual(got.Buf, []string{"B", "C", "D"}) || got.Head != 0 {
+		t.Errorf("segment 2 raw = %+v", got)
+	}
+	want := []string{"B", "C", "D"}
+	if !reflect.DeepEqual(x.Abstract(), want) || !reflect.DeepEqual(y.Abstract(), want) {
+		t.Errorf("abstract values = %v, %v, want %v", x.Abstract(), y.Abstract(), want)
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	q1 := mustAdd(t, boundedqueue.New[int](3), 1)
+	q2 := mustAdd(t, q1, 2)
+	q3, err := q1.Remove()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.Len() != 1 || q2.Len() != 2 || q3.Len() != 0 {
+		t.Error("persistence broken")
+	}
+	if f, _ := q1.Front(); f != 1 {
+		t.Error("q1 mutated")
+	}
+	// Raw returns a copy: mutating it does not affect the queue.
+	raw := q2.Raw()
+	raw.Buf[0] = 99
+	if f, _ := q2.Front(); f == 99 {
+		t.Error("Raw aliases internal buffer")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := boundedqueue.New[int](3)
+	// Fill, drain two, refill: the ring wraps.
+	q = mustAdd(t, q, 1)
+	q = mustAdd(t, q, 2)
+	q = mustAdd(t, q, 3)
+	q, _ = q.Remove()
+	q, _ = q.Remove()
+	q = mustAdd(t, q, 4)
+	q = mustAdd(t, q, 5)
+	if got := q.Abstract(); !reflect.DeepEqual(got, []int{3, 4, 5}) {
+		t.Errorf("Abstract = %v", got)
+	}
+	if q.Raw().Head != 2 {
+		t.Errorf("head = %d", q.Raw().Head)
+	}
+}
+
+// Property: bounded queue behaves as a slice model with a cap.
+func TestQuickAgainstSliceModel(t *testing.T) {
+	f := func(ops []uint8, capSeed uint8) bool {
+		capacity := int(capSeed%4) + 1
+		q := boundedqueue.New[uint8](capacity)
+		var model []uint8
+		for _, o := range ops {
+			if o%3 == 0 {
+				nq, err := q.Remove()
+				if len(model) == 0 {
+					if err == nil {
+						return false
+					}
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				q = nq
+				model = model[1:]
+			} else {
+				nq, err := q.Add(o)
+				if len(model) == capacity {
+					if err == nil {
+						return false
+					}
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				q = nq
+				model = append(model, o)
+			}
+			if q.Len() != len(model) || q.IsFull() != (len(model) == capacity) {
+				return false
+			}
+		}
+		return reflect.DeepEqual(q.Abstract(), append([]uint8{}, model...)) ||
+			(len(model) == 0 && len(q.Abstract()) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package bst implements the library's BST specification: binary trees
+// of ints searched in order. Node is deliberately public-by-construction
+// (NewNode) because the specification's node is a free constructor: the
+// observers descend by comparison whatever the tree's shape, and the
+// implementation must mirror that — including on trees that violate the
+// search property.
+package bst
+
+import "errors"
+
+// ErrEmpty is the boundary condition for Min of the empty tree.
+var ErrEmpty = errors.New("bst: empty")
+
+// Tree is a persistent binary tree. The zero value is the empty tree.
+type Tree struct {
+	root *node
+}
+
+type node struct {
+	left, right *node
+	val         int
+}
+
+// Empty returns the empty tree.
+func Empty() Tree { return Tree{} }
+
+// NewNode builds a tree from parts (the specification's free constructor
+// node(l, n, r)).
+func NewNode(left Tree, val int, right Tree) Tree {
+	return Tree{root: &node{left: left.root, right: right.root, val: val}}
+}
+
+// IsEmpty reports whether the tree has no nodes.
+func (t Tree) IsEmpty() bool { return t.root == nil }
+
+// Insert adds val in search order, returning the new tree. Duplicates
+// are dropped (axiom i2's final branch). Only the spine is copied.
+func (t Tree) Insert(val int) Tree {
+	return Tree{root: insert(t.root, val)}
+}
+
+func insert(n *node, val int) *node {
+	if n == nil {
+		return &node{val: val}
+	}
+	switch {
+	case val < n.val:
+		return &node{left: insert(n.left, val), right: n.right, val: n.val}
+	case n.val < val:
+		return &node{left: n.left, right: insert(n.right, val), val: n.val}
+	default:
+		return n
+	}
+}
+
+// Member searches in order: left of greater values, right of smaller.
+func (t Tree) Member(val int) bool {
+	n := t.root
+	for n != nil {
+		switch {
+		case val < n.val:
+			n = n.left
+		case n.val < val:
+			n = n.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Min returns the leftmost value.
+func (t Tree) Min() (int, error) {
+	if t.root == nil {
+		return 0, ErrEmpty
+	}
+	n := t.root
+	for n.left != nil {
+		n = n.left
+	}
+	return n.val, nil
+}
+
+// Size returns the number of nodes.
+func (t Tree) Size() int { return size(t.root) }
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + size(n.left) + size(n.right)
+}
+
+// InOrder returns the values in left-to-right order.
+func (t Tree) InOrder() []int {
+	var out []int
+	var walk func(*node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		out = append(out, n.val)
+		walk(n.right)
+	}
+	walk(t.root)
+	return out
+}

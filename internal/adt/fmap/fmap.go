@@ -1,0 +1,103 @@
+// Package fmap implements the library's Map specification: a persistent
+// finite map where a later put shadows an earlier one and removal erases
+// the key entirely. The representation is a small association list with
+// copy-on-write, matching the specification's put-chain semantics
+// directly (the paper's point: choose the representation late — swap in
+// a hash table when profiles demand it, the interface cannot tell).
+package fmap
+
+import "errors"
+
+// ErrNoKey is the boundary condition for Get of an absent key.
+var ErrNoKey = errors.New("fmap: key not present")
+
+// Map is a persistent finite map. The zero value is the empty map.
+type Map[K comparable, V any] struct {
+	head *entry[K, V]
+	size int
+}
+
+type entry[K comparable, V any] struct {
+	key  K
+	val  V
+	next *entry[K, V]
+}
+
+// Empty returns the empty map.
+func Empty[K comparable, V any]() Map[K, V] { return Map[K, V]{} }
+
+// Put binds key to val, shadowing any earlier binding.
+func (m Map[K, V]) Put(key K, val V) Map[K, V] {
+	size := m.size
+	if !m.HasKey(key) {
+		size++
+	}
+	return Map[K, V]{head: &entry[K, V]{key: key, val: val, next: m.head}, size: size}
+}
+
+// Get returns the most recent binding of key.
+func (m Map[K, V]) Get(key K) (V, error) {
+	for e := m.head; e != nil; e = e.next {
+		if e.key == key {
+			return e.val, nil
+		}
+	}
+	var zero V
+	return zero, ErrNoKey
+}
+
+// HasKey reports whether key is bound.
+func (m Map[K, V]) HasKey(key K) bool {
+	for e := m.head; e != nil; e = e.next {
+		if e.key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveKey erases every binding of key.
+func (m Map[K, V]) RemoveKey(key K) Map[K, V] {
+	if !m.HasKey(key) {
+		return m
+	}
+	out := Empty[K, V]()
+	// Rebuild preserving shadowing order: collect entries, then re-add
+	// oldest first.
+	var kept []*entry[K, V]
+	for e := m.head; e != nil; e = e.next {
+		if e.key != key {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept) - 1; i >= 0; i-- {
+		out = Map[K, V]{head: &entry[K, V]{key: kept[i].key, val: kept[i].val, next: out.head}, size: 0}
+	}
+	// Recompute the distinct-key count.
+	seen := map[K]bool{}
+	n := 0
+	for e := out.head; e != nil; e = e.next {
+		if !seen[e.key] {
+			seen[e.key] = true
+			n++
+		}
+	}
+	out.size = n
+	return out
+}
+
+// Size returns the number of distinct bound keys.
+func (m Map[K, V]) Size() int { return m.size }
+
+// Keys returns the distinct bound keys, most recently bound first.
+func (m Map[K, V]) Keys() []K {
+	var out []K
+	seen := map[K]bool{}
+	for e := m.head; e != nil; e = e.next {
+		if !seen[e.key] {
+			seen[e.key] = true
+			out = append(out, e.key)
+		}
+	}
+	return out
+}

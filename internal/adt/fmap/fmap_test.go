@@ -1,0 +1,107 @@
+package fmap_test
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"algspec/internal/adt/fmap"
+)
+
+func TestBasics(t *testing.T) {
+	m := fmap.Empty[string, int]()
+	if m.Size() != 0 || m.HasKey("k") {
+		t.Error("fresh map state wrong")
+	}
+	if _, err := m.Get("k"); !errors.Is(err, fmap.ErrNoKey) {
+		t.Errorf("Get: %v", err)
+	}
+	m = m.Put("k", 1).Put("j", 2)
+	if m.Size() != 2 {
+		t.Errorf("Size = %d", m.Size())
+	}
+	v, err := m.Get("k")
+	if err != nil || v != 1 {
+		t.Errorf("Get = %d, %v", v, err)
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	m := fmap.Empty[string, int]().Put("k", 1).Put("k", 2)
+	if m.Size() != 1 {
+		t.Errorf("Size = %d", m.Size())
+	}
+	if v, _ := m.Get("k"); v != 2 {
+		t.Errorf("Get = %d", v)
+	}
+}
+
+func TestRemoveKey(t *testing.T) {
+	m := fmap.Empty[string, int]().Put("k", 1).Put("j", 2).Put("k", 3)
+	r := m.RemoveKey("k")
+	if r.HasKey("k") || r.Size() != 1 {
+		t.Errorf("after remove: has=%v size=%d", r.HasKey("k"), r.Size())
+	}
+	// All shadowed bindings are gone, not just the top one.
+	if _, err := r.Get("k"); err == nil {
+		t.Error("shadowed binding resurfaced")
+	}
+	if v, _ := r.Get("j"); v != 2 {
+		t.Errorf("j = %d", v)
+	}
+	// Removing an absent key is a no-op.
+	if r.RemoveKey("zz").Size() != 1 {
+		t.Error("phantom remove changed size")
+	}
+	// Persistence.
+	if !m.HasKey("k") || m.Size() != 2 {
+		t.Error("original mutated")
+	}
+}
+
+func TestKeys(t *testing.T) {
+	m := fmap.Empty[string, int]().Put("a", 1).Put("b", 2).Put("a", 3)
+	keys := m.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("Keys = %v", keys)
+	}
+}
+
+// Property: fmap agrees with a Go map model.
+func TestQuickAgainstMapModel(t *testing.T) {
+	keys := []string{"a", "b", "c", "d"}
+	f := func(ops []uint8) bool {
+		m := fmap.Empty[string, uint8]()
+		model := map[string]uint8{}
+		for _, o := range ops {
+			k := keys[int(o)%len(keys)]
+			if o%5 == 0 {
+				m = m.RemoveKey(k)
+				delete(model, k)
+			} else {
+				m = m.Put(k, o)
+				model[k] = o
+			}
+		}
+		if m.Size() != len(model) {
+			return false
+		}
+		for _, k := range keys {
+			want, ok := model[k]
+			if m.HasKey(k) != ok {
+				return false
+			}
+			got, err := m.Get(k)
+			if ok != (err == nil) {
+				return false
+			}
+			if ok && got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

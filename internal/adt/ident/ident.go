@@ -1,0 +1,71 @@
+// Package ident implements the paper's independently defined type
+// Identifier: names with an equality operation (IS_SAME?) and a HASH
+// operation mapping identifiers into [1..n] for the hash-table
+// representation of type Array.
+//
+// Identifiers are interned by default, making Same a pointer comparison —
+// the kind of representation decision the algebraic specification
+// deliberately leaves open. An uninterned constructor is provided so the
+// ablation benchmark can measure what interning buys.
+package ident
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// Identifier is an immutable identifier value. The zero value is the
+// empty identifier.
+type Identifier struct {
+	name string
+	// canon is the canonical name pointer when interned; nil otherwise.
+	canon *string
+}
+
+var (
+	internMu  sync.Mutex
+	internTab = make(map[string]*string)
+)
+
+// Intern returns the canonical Identifier for the name. Two interned
+// identifiers with equal names share a canonical pointer, so Same is one
+// pointer comparison.
+func Intern(name string) Identifier {
+	internMu.Lock()
+	defer internMu.Unlock()
+	if p, ok := internTab[name]; ok {
+		return Identifier{name: name, canon: p}
+	}
+	p := new(string)
+	*p = name
+	internTab[name] = p
+	return Identifier{name: name, canon: p}
+}
+
+// Uninterned returns an identifier that participates in Same by string
+// comparison only. It exists for the interning ablation.
+func Uninterned(name string) Identifier {
+	return Identifier{name: name}
+}
+
+// Name returns the identifier's spelling.
+func (id Identifier) Name() string { return id.name }
+
+// Same is the paper's IS_SAME?: equality of identifiers.
+func (id Identifier) Same(other Identifier) bool {
+	if id.canon != nil && other.canon != nil {
+		return id.canon == other.canon
+	}
+	return id.name == other.name
+}
+
+// Hash is the paper's HASH: Identifier -> [1..n], returned 0-based as a
+// bucket index in [0, n). n must be positive.
+func (id Identifier) Hash(n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(id.name))
+	return int(h.Sum32() % uint32(n))
+}
+
+// String implements fmt.Stringer.
+func (id Identifier) String() string { return id.name }

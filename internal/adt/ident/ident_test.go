@@ -1,0 +1,98 @@
+package ident_test
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"algspec/internal/adt/ident"
+)
+
+func TestInternSame(t *testing.T) {
+	a := ident.Intern("x")
+	b := ident.Intern("x")
+	c := ident.Intern("y")
+	if !a.Same(b) {
+		t.Error("interned equal names not Same")
+	}
+	if a.Same(c) {
+		t.Error("different names Same")
+	}
+	if a.Name() != "x" || a.String() != "x" {
+		t.Errorf("Name = %q", a.Name())
+	}
+}
+
+func TestUninterned(t *testing.T) {
+	a := ident.Uninterned("x")
+	b := ident.Uninterned("x")
+	if !a.Same(b) {
+		t.Error("uninterned equal names not Same")
+	}
+	// Mixed interned/uninterned still compares by name.
+	if !a.Same(ident.Intern("x")) {
+		t.Error("mixed comparison failed")
+	}
+	if a.Same(ident.Intern("y")) {
+		t.Error("mixed different names Same")
+	}
+}
+
+func TestZeroValue(t *testing.T) {
+	var z ident.Identifier
+	if z.Name() != "" {
+		t.Error("zero value has a name")
+	}
+	if !z.Same(ident.Uninterned("")) {
+		t.Error("zero value not Same as empty")
+	}
+}
+
+func TestHash(t *testing.T) {
+	a := ident.Intern("x")
+	// Deterministic.
+	if a.Hash(16) != a.Hash(16) {
+		t.Error("hash not deterministic")
+	}
+	// In range.
+	for _, name := range []string{"a", "b", "foo", "barbaz", ""} {
+		for _, n := range []int{1, 2, 7, 16} {
+			h := ident.Uninterned(name).Hash(n)
+			if h < 0 || h >= n {
+				t.Errorf("Hash(%q, %d) = %d out of range", name, n, h)
+			}
+		}
+	}
+	// Same name, same bucket regardless of interning.
+	if ident.Intern("q").Hash(8) != ident.Uninterned("q").Hash(8) {
+		t.Error("hash depends on interning")
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	var wg sync.WaitGroup
+	ids := make([]ident.Identifier, 64)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = ident.Intern("shared")
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(ids); i++ {
+		if !ids[0].Same(ids[i]) {
+			t.Fatal("concurrent interning produced non-Same identifiers")
+		}
+	}
+}
+
+// Property: Same is exactly name equality.
+func TestQuickSameIsNameEquality(t *testing.T) {
+	f := func(a, b string) bool {
+		return ident.Intern(a).Same(ident.Intern(b)) == (a == b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,63 @@
+// Package knowlist implements the paper's abstract type Knowlist: the
+// list, given at block entry, of the nonlocal variables a block may use.
+// "The implementation of abstract type Knowlist is trivial" — it is a
+// persistent linked list of identifiers with membership by IS_SAME?.
+package knowlist
+
+import "algspec/internal/adt/ident"
+
+// List is a persistent knows-list. The zero value is the empty list
+// (CREATE).
+type List struct {
+	head *node
+}
+
+type node struct {
+	id   ident.Identifier
+	next *node
+}
+
+// Create returns the empty knows-list.
+func Create() List { return List{} }
+
+// Of builds a knows-list from identifiers.
+func Of(ids ...ident.Identifier) List {
+	l := Create()
+	for _, id := range ids {
+		l = l.Append(id)
+	}
+	return l
+}
+
+// Append returns the list with id added (APPEND).
+func (l List) Append(id ident.Identifier) List {
+	return List{head: &node{id: id, next: l.head}}
+}
+
+// IsIn reports membership (IS_IN?).
+func (l List) IsIn(id ident.Identifier) bool {
+	for n := l.head; n != nil; n = n.next {
+		if n.id.Same(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of appended identifiers (with multiplicity).
+func (l List) Len() int {
+	n := 0
+	for p := l.head; p != nil; p = p.next {
+		n++
+	}
+	return n
+}
+
+// Slice returns the identifiers, most recently appended first.
+func (l List) Slice() []ident.Identifier {
+	out := make([]ident.Identifier, 0, l.Len())
+	for n := l.head; n != nil; n = n.next {
+		out = append(out, n.id)
+	}
+	return out
+}

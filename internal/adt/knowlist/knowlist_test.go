@@ -1,0 +1,57 @@
+package knowlist_test
+
+import (
+	"testing"
+
+	"algspec/internal/adt/ident"
+	"algspec/internal/adt/knowlist"
+)
+
+func id(s string) ident.Identifier { return ident.Intern(s) }
+
+func TestCreateEmpty(t *testing.T) {
+	l := knowlist.Create()
+	if l.IsIn(id("x")) {
+		t.Error("empty list contains x")
+	}
+	if l.Len() != 0 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}
+
+func TestAppendAndMembership(t *testing.T) {
+	l := knowlist.Create().Append(id("x")).Append(id("y"))
+	if !l.IsIn(id("x")) || !l.IsIn(id("y")) {
+		t.Error("appended identifiers missing")
+	}
+	if l.IsIn(id("z")) {
+		t.Error("phantom member")
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}
+
+func TestOf(t *testing.T) {
+	l := knowlist.Of(id("a"), id("b"), id("c"))
+	for _, n := range []string{"a", "b", "c"} {
+		if !l.IsIn(id(n)) {
+			t.Errorf("%s missing", n)
+		}
+	}
+	s := l.Slice()
+	if len(s) != 3 || s[0].Name() != "c" {
+		t.Errorf("Slice = %v", s)
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	l1 := knowlist.Create().Append(id("x"))
+	l2 := l1.Append(id("y"))
+	if l1.IsIn(id("y")) {
+		t.Error("l1 sees l2's append")
+	}
+	if !l2.IsIn(id("x")) {
+		t.Error("l2 lost l1's element")
+	}
+}

@@ -1,0 +1,108 @@
+// Package list implements the library's List specification: persistent
+// sequences with head/tail access, append, length, membership and
+// reverse. It is the classic cons-list; the algebraic specification
+// (speclib.List) is its complete behavioural description.
+package list
+
+import "errors"
+
+// ErrEmpty is the boundary condition for Head and Tail of the empty list.
+var ErrEmpty = errors.New("list: empty")
+
+// List is a persistent singly linked list. The zero value is the empty
+// list (NIL).
+type List[T comparable] struct {
+	head *node[T]
+}
+
+type node[T comparable] struct {
+	val  T
+	next *node[T]
+}
+
+// Nil returns the empty list.
+func Nil[T comparable]() List[T] { return List[T]{} }
+
+// Of builds a list whose elements appear in the given order.
+func Of[T comparable](xs ...T) List[T] {
+	out := Nil[T]()
+	for i := len(xs) - 1; i >= 0; i-- {
+		out = out.Cons(xs[i])
+	}
+	return out
+}
+
+// Cons returns the list with x prepended.
+func (l List[T]) Cons(x T) List[T] {
+	return List[T]{head: &node[T]{val: x, next: l.head}}
+}
+
+// Head returns the first element.
+func (l List[T]) Head() (T, error) {
+	if l.head == nil {
+		var zero T
+		return zero, ErrEmpty
+	}
+	return l.head.val, nil
+}
+
+// Tail returns the list without its first element.
+func (l List[T]) Tail() (List[T], error) {
+	if l.head == nil {
+		return l, ErrEmpty
+	}
+	return List[T]{head: l.head.next}, nil
+}
+
+// IsNil reports whether the list is empty.
+func (l List[T]) IsNil() bool { return l.head == nil }
+
+// Append returns the concatenation l ++ k. k's spine is shared.
+func (l List[T]) Append(k List[T]) List[T] {
+	if l.head == nil {
+		return k
+	}
+	elems := l.Slice()
+	out := k
+	for i := len(elems) - 1; i >= 0; i-- {
+		out = out.Cons(elems[i])
+	}
+	return out
+}
+
+// Length returns the number of elements.
+func (l List[T]) Length() int {
+	n := 0
+	for p := l.head; p != nil; p = p.next {
+		n++
+	}
+	return n
+}
+
+// Member reports whether x occurs in the list.
+func (l List[T]) Member(x T) bool {
+	for p := l.head; p != nil; p = p.next {
+		if p.val == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Reverse returns the list reversed.
+func (l List[T]) Reverse() List[T] {
+	out := Nil[T]()
+	for p := l.head; p != nil; p = p.next {
+		out = out.Cons(p.val)
+	}
+	return out
+}
+
+// Slice returns the elements in list order.
+func (l List[T]) Slice() []T {
+	out := make([]T, 0, l.Length())
+	for p := l.head; p != nil; p = p.next {
+		out = append(out, p.val)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package list_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"algspec/internal/adt/list"
+)
+
+func TestBasics(t *testing.T) {
+	l := list.Nil[int]()
+	if !l.IsNil() || l.Length() != 0 {
+		t.Error("nil list state wrong")
+	}
+	if _, err := l.Head(); !errors.Is(err, list.ErrEmpty) {
+		t.Errorf("Head: %v", err)
+	}
+	if _, err := l.Tail(); !errors.Is(err, list.ErrEmpty) {
+		t.Errorf("Tail: %v", err)
+	}
+	l = l.Cons(2).Cons(1)
+	h, err := l.Head()
+	if err != nil || h != 1 {
+		t.Errorf("Head = %d, %v", h, err)
+	}
+	tl, err := l.Tail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2, _ := tl.Head(); h2 != 2 {
+		t.Errorf("second = %d", h2)
+	}
+}
+
+func TestOfAndSlice(t *testing.T) {
+	l := list.Of(1, 2, 3)
+	if got := l.Slice(); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Errorf("Slice = %v", got)
+	}
+	if l.Length() != 3 {
+		t.Errorf("Length = %d", l.Length())
+	}
+}
+
+func TestAppendReverseMember(t *testing.T) {
+	a := list.Of("x", "y")
+	b := list.Of("z")
+	ab := a.Append(b)
+	if got := ab.Slice(); !reflect.DeepEqual(got, []string{"x", "y", "z"}) {
+		t.Errorf("Append = %v", got)
+	}
+	// Appending to nil returns the other list unchanged.
+	if got := list.Nil[string]().Append(b).Slice(); !reflect.DeepEqual(got, []string{"z"}) {
+		t.Errorf("nil Append = %v", got)
+	}
+	rev := ab.Reverse()
+	if got := rev.Slice(); !reflect.DeepEqual(got, []string{"z", "y", "x"}) {
+		t.Errorf("Reverse = %v", got)
+	}
+	if !ab.Member("y") || ab.Member("q") {
+		t.Error("Member wrong")
+	}
+	// Persistence: a and b unchanged.
+	if a.Length() != 2 || b.Length() != 1 {
+		t.Error("append mutated inputs")
+	}
+}
+
+// Property: Reverse twice is the identity; Append lengths add.
+func TestQuickListLaws(t *testing.T) {
+	f := func(xs, ys []int8) bool {
+		a := list.Of(xs...)
+		b := list.Of(ys...)
+		if !reflect.DeepEqual(a.Reverse().Reverse().Slice(), a.Slice()) &&
+			len(xs) > 0 {
+			return false
+		}
+		ab := a.Append(b)
+		if ab.Length() != len(xs)+len(ys) {
+			return false
+		}
+		// Membership distributes over append.
+		for _, x := range xs {
+			if !ab.Member(x) {
+				return false
+			}
+		}
+		for _, y := range ys {
+			if !ab.Member(y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package queue implements the abstract type Queue of §3 of the paper: a
+// first-in-first-out store with the operations NEW, ADD, FRONT, REMOVE
+// and IS_EMPTY?. The representation — a persistent two-list ("banker's")
+// queue — is exactly the kind of choice the algebraic specification
+// leaves open; package-external code can observe nothing but FIFO
+// behaviour, which the specification's axioms pin down and which the
+// model-checking harness verifies against them.
+//
+// Queues are immutable values: Add and Remove return new queues. The
+// boundary conditions FRONT(NEW) and REMOVE(NEW) return ErrEmpty, the
+// implementation-side rendering of the paper's distinguished error.
+package queue
+
+import "errors"
+
+// ErrEmpty is returned by Front and Remove on an empty queue (the
+// paper's FRONT(NEW) = error and REMOVE(NEW) = error).
+var ErrEmpty = errors.New("queue: empty")
+
+// Queue is a persistent FIFO queue. The zero value is an empty queue.
+type Queue[T any] struct {
+	// front holds elements in dequeue order; back holds elements in
+	// reverse enqueue order. The queue's contents are front ++
+	// reverse(back).
+	front *list[T]
+	back  *list[T]
+}
+
+type list[T any] struct {
+	head T
+	tail *list[T]
+}
+
+func (l *list[T]) len() int {
+	n := 0
+	for ; l != nil; l = l.tail {
+		n++
+	}
+	return n
+}
+
+// New returns the empty queue.
+func New[T any]() Queue[T] { return Queue[T]{} }
+
+// IsEmpty is the paper's IS_EMPTY?.
+func (q Queue[T]) IsEmpty() bool { return q.front == nil && q.back == nil }
+
+// Len returns the number of elements.
+func (q Queue[T]) Len() int { return q.front.len() + q.back.len() }
+
+// Add enqueues an element, returning the new queue.
+func (q Queue[T]) Add(x T) Queue[T] {
+	if q.front == nil {
+		// Keep the invariant: front is only empty when the queue is.
+		return Queue[T]{front: &list[T]{head: x}, back: reversed(q.back)}
+	}
+	return Queue[T]{front: q.front, back: &list[T]{head: x, tail: q.back}}
+}
+
+// Front returns the oldest element.
+func (q Queue[T]) Front() (T, error) {
+	if q.front == nil {
+		var zero T
+		return zero, ErrEmpty
+	}
+	return q.front.head, nil
+}
+
+// Remove dequeues the oldest element, returning the new queue.
+func (q Queue[T]) Remove() (Queue[T], error) {
+	if q.front == nil {
+		return q, ErrEmpty
+	}
+	rest := q.front.tail
+	if rest == nil {
+		return Queue[T]{front: reversed(q.back)}, nil
+	}
+	return Queue[T]{front: rest, back: q.back}, nil
+}
+
+// Slice returns the queue's contents in dequeue order.
+func (q Queue[T]) Slice() []T {
+	out := make([]T, 0, q.Len())
+	for l := q.front; l != nil; l = l.tail {
+		out = append(out, l.head)
+	}
+	n := len(out)
+	for l := q.back; l != nil; l = l.tail {
+		out = append(out, l.head)
+	}
+	// The back half is in reverse enqueue order.
+	for i, j := n, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func reversed[T any](l *list[T]) *list[T] {
+	var out *list[T]
+	for ; l != nil; l = l.tail {
+		out = &list[T]{head: l.head, tail: out}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package queue_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"algspec/internal/adt/queue"
+)
+
+func TestEmpty(t *testing.T) {
+	q := queue.New[int]()
+	if !q.IsEmpty() || q.Len() != 0 {
+		t.Error("fresh queue not empty")
+	}
+	if _, err := q.Front(); !errors.Is(err, queue.ErrEmpty) {
+		t.Errorf("Front on empty: %v", err)
+	}
+	if _, err := q.Remove(); !errors.Is(err, queue.ErrEmpty) {
+		t.Errorf("Remove on empty: %v", err)
+	}
+	// The zero value works too.
+	var z queue.Queue[int]
+	if !z.IsEmpty() {
+		t.Error("zero value not empty")
+	}
+}
+
+func TestFIFO(t *testing.T) {
+	q := queue.New[int]()
+	for i := 1; i <= 5; i++ {
+		q = q.Add(i)
+	}
+	if q.Len() != 5 || q.IsEmpty() {
+		t.Errorf("Len = %d", q.Len())
+	}
+	for i := 1; i <= 5; i++ {
+		f, err := q.Front()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f != i {
+			t.Fatalf("front = %d, want %d", f, i)
+		}
+		q, err = q.Remove()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !q.IsEmpty() {
+		t.Error("not empty after draining")
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	q1 := queue.New[string]().Add("a")
+	q2 := q1.Add("b")
+	q3, err := q1.Remove()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q1 is unaffected by later operations.
+	if f, _ := q1.Front(); f != "a" || q1.Len() != 1 {
+		t.Error("q1 mutated")
+	}
+	if q2.Len() != 2 {
+		t.Error("q2 wrong")
+	}
+	if !q3.IsEmpty() {
+		t.Error("q3 wrong")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	q := queue.New[int]()
+	if got := q.Slice(); len(got) != 0 {
+		t.Errorf("empty Slice = %v", got)
+	}
+	// Mix adds and removes so both internal lists are exercised.
+	q = q.Add(1).Add(2).Add(3)
+	q, _ = q.Remove()
+	q = q.Add(4).Add(5)
+	q, _ = q.Remove()
+	want := []int{3, 4, 5}
+	if got := q.Slice(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Slice = %v, want %v", got, want)
+	}
+}
+
+// Property: the queue agrees with a slice model under arbitrary
+// operation sequences.
+func TestQuickAgainstSliceModel(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := queue.New[uint8]()
+		var model []uint8
+		for _, o := range ops {
+			if o%4 == 0 {
+				nq, err := q.Remove()
+				if len(model) == 0 {
+					if err == nil {
+						return false
+					}
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				q = nq
+				model = model[1:]
+			} else {
+				q = q.Add(o)
+				model = append(model, o)
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+			if len(model) > 0 {
+				f, err := q.Front()
+				if err != nil || f != model[0] {
+					return false
+				}
+			} else if !q.IsEmpty() {
+				return false
+			}
+		}
+		got := q.Slice()
+		if len(got) != len(model) {
+			return false
+		}
+		for i := range got {
+			if got[i] != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

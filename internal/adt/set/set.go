@@ -1,0 +1,79 @@
+// Package set implements the library's Set specification: finite sets of
+// comparable elements with membership, deletion and cardinality. The
+// representation (a persistent sorted slice) is invisible through the
+// operations, which is what lets the algebraic specification serve as its
+// complete interface description and test oracle.
+package set
+
+import "sort"
+
+// Set is a persistent finite set. The zero value is the empty set.
+type Set[T ~string] struct {
+	// elems is sorted and duplicate-free.
+	elems []T
+}
+
+// Empty returns the empty set.
+func Empty[T ~string]() Set[T] { return Set[T]{} }
+
+// Of builds a set from elements.
+func Of[T ~string](xs ...T) Set[T] {
+	s := Empty[T]()
+	for _, x := range xs {
+		s = s.Insert(x)
+	}
+	return s
+}
+
+// Insert returns the set with x added.
+func (s Set[T]) Insert(x T) Set[T] {
+	i := sort.Search(len(s.elems), func(i int) bool { return s.elems[i] >= x })
+	if i < len(s.elems) && s.elems[i] == x {
+		return s
+	}
+	out := make([]T, 0, len(s.elems)+1)
+	out = append(out, s.elems[:i]...)
+	out = append(out, x)
+	out = append(out, s.elems[i:]...)
+	return Set[T]{elems: out}
+}
+
+// IsMember reports membership.
+func (s Set[T]) IsMember(x T) bool {
+	i := sort.Search(len(s.elems), func(i int) bool { return s.elems[i] >= x })
+	return i < len(s.elems) && s.elems[i] == x
+}
+
+// Delete returns the set without x.
+func (s Set[T]) Delete(x T) Set[T] {
+	i := sort.Search(len(s.elems), func(i int) bool { return s.elems[i] >= x })
+	if i >= len(s.elems) || s.elems[i] != x {
+		return s
+	}
+	out := make([]T, 0, len(s.elems)-1)
+	out = append(out, s.elems[:i]...)
+	out = append(out, s.elems[i+1:]...)
+	return Set[T]{elems: out}
+}
+
+// Card returns the cardinality.
+func (s Set[T]) Card() int { return len(s.elems) }
+
+// IsEmpty reports whether the set is empty.
+func (s Set[T]) IsEmpty() bool { return len(s.elems) == 0 }
+
+// Slice returns the elements in sorted order.
+func (s Set[T]) Slice() []T {
+	out := make([]T, len(s.elems))
+	copy(out, s.elems)
+	return out
+}
+
+// Union returns the union of two sets.
+func (s Set[T]) Union(t Set[T]) Set[T] {
+	out := s
+	for _, x := range t.elems {
+		out = out.Insert(x)
+	}
+	return out
+}

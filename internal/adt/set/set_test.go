@@ -1,0 +1,80 @@
+package set_test
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"algspec/internal/adt/set"
+)
+
+func TestBasics(t *testing.T) {
+	s := set.Empty[string]()
+	if !s.IsEmpty() || s.Card() != 0 || s.IsMember("a") {
+		t.Error("fresh set state wrong")
+	}
+	s = s.Insert("b").Insert("a").Insert("b")
+	if s.Card() != 2 {
+		t.Errorf("Card = %d", s.Card())
+	}
+	if !s.IsMember("a") || !s.IsMember("b") || s.IsMember("c") {
+		t.Error("membership wrong")
+	}
+	if got := s.Slice(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Slice = %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := set.Of("a", "b", "c")
+	s2 := s.Delete("b")
+	if s2.IsMember("b") || s2.Card() != 2 {
+		t.Error("delete failed")
+	}
+	// Deleting an absent element is a no-op.
+	if s2.Delete("zz").Card() != 2 {
+		t.Error("phantom delete changed set")
+	}
+	// Persistence.
+	if !s.IsMember("b") {
+		t.Error("original mutated")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	u := set.Of("a", "b").Union(set.Of("b", "c"))
+	if got := u.Slice(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Union = %v", got)
+	}
+}
+
+// Property: set agrees with a map model.
+func TestQuickAgainstMapModel(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	f := func(ops []uint8) bool {
+		s := set.Empty[string]()
+		model := map[string]bool{}
+		for _, o := range ops {
+			n := names[int(o)%len(names)]
+			if o%3 == 0 {
+				s = s.Delete(n)
+				delete(model, n)
+			} else {
+				s = s.Insert(n)
+				model[n] = true
+			}
+		}
+		if s.Card() != len(model) {
+			return false
+		}
+		for _, n := range names {
+			if s.IsMember(n) != model[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Package stack implements the paper's type Stack (axioms 10–16): the
+// LIFO store used by the stack-of-arrays representation of the symbol
+// table. The representation transliterates the paper's PL/I scheme — "a
+// pointer to a list of structures" with val and prev fields — into a Go
+// linked list with unexported nodes; NEWSTACK' is the nil pointer.
+//
+// Stacks are immutable values: Push, Pop and Replace return new stacks
+// sharing structure with the old, which is what makes structural equality
+// of states a sound comparison in the model-checking harness.
+package stack
+
+import "errors"
+
+// ErrEmpty is the boundary condition for Pop, Top and Replace on the
+// empty stack (the paper's POP(NEWSTACK) = error etc.).
+var ErrEmpty = errors.New("stack: empty")
+
+// Stack is a persistent LIFO stack. The zero value is the empty stack
+// (the paper's NEWSTACK' :: null).
+type Stack[T any] struct {
+	top *node[T]
+}
+
+// node mirrors the PL/I structure: "2 val Array, 2 prev pointer".
+type node[T any] struct {
+	val  T
+	prev *node[T]
+}
+
+// New returns the empty stack.
+func New[T any]() Stack[T] { return Stack[T]{} }
+
+// IsNew is the paper's IS_NEWSTACK?: symtab = null.
+func (s Stack[T]) IsNew() bool { return s.top == nil }
+
+// Len returns the number of elements.
+func (s Stack[T]) Len() int {
+	n := 0
+	for p := s.top; p != nil; p = p.prev {
+		n++
+	}
+	return n
+}
+
+// Push returns the stack with x on top (the paper's PUSH': allocate,
+// set prev and val, return the new element pointer).
+func (s Stack[T]) Push(x T) Stack[T] {
+	return Stack[T]{top: &node[T]{val: x, prev: s.top}}
+}
+
+// Pop returns the stack below the top element.
+func (s Stack[T]) Pop() (Stack[T], error) {
+	if s.top == nil {
+		return s, ErrEmpty
+	}
+	return Stack[T]{top: s.top.prev}, nil
+}
+
+// Top returns the top element.
+func (s Stack[T]) Top() (T, error) {
+	if s.top == nil {
+		var zero T
+		return zero, ErrEmpty
+	}
+	return s.top.val, nil
+}
+
+// Replace returns the stack with its top element replaced (axiom 16:
+// REPLACE(stk, arr) = PUSH(POP(stk), arr), error on the empty stack).
+// Unlike the paper's PL/I code it does not mutate in place — the
+// specification cannot tell the difference, which is the point.
+func (s Stack[T]) Replace(x T) (Stack[T], error) {
+	if s.top == nil {
+		return s, ErrEmpty
+	}
+	return Stack[T]{top: &node[T]{val: x, prev: s.top.prev}}, nil
+}
+
+// Slice returns the elements from top to bottom.
+func (s Stack[T]) Slice() []T {
+	out := make([]T, 0, s.Len())
+	for p := s.top; p != nil; p = p.prev {
+		out = append(out, p.val)
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package stack_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"algspec/internal/adt/stack"
+)
+
+func TestBasics(t *testing.T) {
+	s := stack.New[int]()
+	if !s.IsNew() || s.Len() != 0 {
+		t.Error("fresh stack state wrong")
+	}
+	if _, err := s.Pop(); !errors.Is(err, stack.ErrEmpty) {
+		t.Errorf("Pop: %v", err)
+	}
+	if _, err := s.Top(); !errors.Is(err, stack.ErrEmpty) {
+		t.Errorf("Top: %v", err)
+	}
+	if _, err := s.Replace(1); !errors.Is(err, stack.ErrEmpty) {
+		t.Errorf("Replace: %v", err)
+	}
+	s = s.Push(1).Push(2)
+	if s.IsNew() || s.Len() != 2 {
+		t.Error("pushed stack state wrong")
+	}
+	top, err := s.Top()
+	if err != nil || top != 2 {
+		t.Errorf("Top = %d, %v", top, err)
+	}
+	below, err := s.Pop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top2, _ := below.Top(); top2 != 1 {
+		t.Errorf("Top after pop = %d", top2)
+	}
+}
+
+// Axiom 16: REPLACE(stk, x) = PUSH(POP(stk), x).
+func TestReplaceEqualsPushPop(t *testing.T) {
+	s := stack.New[string]().Push("a").Push("b")
+	r, err := s.Replace("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	popped, _ := s.Pop()
+	want := popped.Push("z")
+	if !reflect.DeepEqual(r.Slice(), want.Slice()) {
+		t.Errorf("Replace = %v, want %v", r.Slice(), want.Slice())
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	s1 := stack.New[int]().Push(1)
+	s2 := s1.Push(2)
+	s3, _ := s1.Pop()
+	r, _ := s2.Replace(99)
+	if s1.Len() != 1 || s2.Len() != 2 || s3.Len() != 0 {
+		t.Error("persistence broken")
+	}
+	if top, _ := s2.Top(); top != 2 {
+		t.Error("Replace mutated s2")
+	}
+	if top, _ := r.Top(); top != 99 {
+		t.Error("Replace result wrong")
+	}
+	if top, _ := s1.Top(); top != 1 {
+		t.Error("s1 mutated")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := stack.New[int]().Push(1).Push(2).Push(3)
+	if got := s.Slice(); !reflect.DeepEqual(got, []int{3, 2, 1}) {
+		t.Errorf("Slice = %v", got)
+	}
+	if got := stack.New[int]().Slice(); len(got) != 0 {
+		t.Errorf("empty Slice = %v", got)
+	}
+}
+
+// Property: a stack agrees with a slice model.
+func TestQuickAgainstSliceModel(t *testing.T) {
+	f := func(ops []int16) bool {
+		s := stack.New[int16]()
+		var model []int16
+		for _, o := range ops {
+			switch {
+			case o%3 == 0:
+				ns, err := s.Pop()
+				if len(model) == 0 {
+					if err == nil {
+						return false
+					}
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				s = ns
+				model = model[:len(model)-1]
+			case o%3 == 1 && len(model) > 0:
+				ns, err := s.Replace(o)
+				if err != nil {
+					return false
+				}
+				s = ns
+				model[len(model)-1] = o
+			default:
+				s = s.Push(o)
+				model = append(model, o)
+			}
+			if s.Len() != len(model) || s.IsNew() != (len(model) == 0) {
+				return false
+			}
+			if len(model) > 0 {
+				top, err := s.Top()
+				if err != nil || top != model[len(model)-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

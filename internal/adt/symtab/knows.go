@@ -1,0 +1,92 @@
+package symtab
+
+import (
+	"errors"
+
+	"algspec/internal/adt/ident"
+	"algspec/internal/adt/knowlist"
+)
+
+// ErrNotKnown is returned by KnowsTable.Retrieve when the identifier is
+// declared in an outer scope but does not appear on some intervening
+// block's knows list (the adapted axiom 8: RETRIEVE(ENTERBLOCK(symtab,
+// klist), id) = error unless IS_IN?(klist, id)).
+var ErrNotKnown = errors.New("symtab: identifier not on knows list")
+
+// KnowsTable is the symbol table for the knows-list language variant of
+// §4: "the inheritance of global variables only if they appear in a
+// 'knows list', which lists, at block entry, all nonlocal variables to be
+// used within the block". Only ENTERBLOCK's signature differs from Table.
+type KnowsTable interface {
+	EnterBlock(knows knowlist.List) KnowsTable
+	LeaveBlock() (KnowsTable, error)
+	Add(id ident.Identifier, attrs Attrs) KnowsTable
+	IsInBlock(id ident.Identifier) bool
+	Retrieve(id ident.Identifier) (Attrs, error)
+}
+
+// knowsTable is the flat-list representation adapted to carry a knows
+// list on each scope mark — "the kind of changes necessary can be
+// inferred from the changes made to the axiomatization".
+type knowsTable struct {
+	head *knowsNode
+}
+
+type knowsNode struct {
+	mark  bool
+	knows knowlist.List // meaningful when mark
+	id    ident.Identifier
+	attrs Attrs
+	next  *knowsNode
+}
+
+// NewKnowsTable returns an initialized knows-list symbol table.
+func NewKnowsTable() KnowsTable { return knowsTable{} }
+
+// EnterBlock pushes a scope mark carrying the block's knows list.
+func (t knowsTable) EnterBlock(knows knowlist.List) KnowsTable {
+	return knowsTable{head: &knowsNode{mark: true, knows: knows, next: t.head}}
+}
+
+// LeaveBlock discards bindings down to and including the most recent
+// mark.
+func (t knowsTable) LeaveBlock() (KnowsTable, error) {
+	for n := t.head; n != nil; n = n.next {
+		if n.mark {
+			return knowsTable{head: n.next}, nil
+		}
+	}
+	return t, ErrNoScope
+}
+
+// Add prepends a binding to the current scope.
+func (t knowsTable) Add(id ident.Identifier, attrs Attrs) KnowsTable {
+	return knowsTable{head: &knowsNode{id: id, attrs: attrs, next: t.head}}
+}
+
+// IsInBlock scans bindings above the most recent mark.
+func (t knowsTable) IsInBlock(id ident.Identifier) bool {
+	for n := t.head; n != nil && !n.mark; n = n.next {
+		if n.id.Same(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// Retrieve searches outward; crossing a scope mark requires the
+// identifier to be on that mark's knows list.
+func (t knowsTable) Retrieve(id ident.Identifier) (Attrs, error) {
+	for n := t.head; n != nil; n = n.next {
+		if n.mark {
+			if !n.knows.IsIn(id) {
+				return nil, ErrNotKnown
+			}
+			continue
+		}
+		if n.id.Same(id) {
+			return n.attrs, nil
+		}
+	}
+	return nil, ErrUndeclared
+}

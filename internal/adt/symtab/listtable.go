@@ -1,0 +1,68 @@
+package symtab
+
+import "algspec/internal/adt/ident"
+
+// listTable is the alternative representation (spec ListSymtabImpl): a
+// single persistent list of scope marks and bindings, searched front to
+// back. Where the stack-of-arrays representation is only conditionally
+// correct (it relies on the paper's Assumption 1), this one satisfies all
+// nine axioms unconditionally — the point being that the specification
+// admits many representations with different correctness and performance
+// trade-offs.
+type listTable struct {
+	head *listNode
+}
+
+type listNode struct {
+	// mark is true for a scope boundary; otherwise id/attrs hold a
+	// binding.
+	mark  bool
+	id    ident.Identifier
+	attrs Attrs
+	next  *listNode
+}
+
+// NewListTable returns an initialized symbol table over the flat-list
+// representation.
+func NewListTable() Table { return listTable{} }
+
+// EnterBlock pushes a scope mark.
+func (t listTable) EnterBlock() Table {
+	return listTable{head: &listNode{mark: true, next: t.head}}
+}
+
+// LeaveBlock discards bindings down to and including the most recent
+// mark.
+func (t listTable) LeaveBlock() (Table, error) {
+	for n := t.head; n != nil; n = n.next {
+		if n.mark {
+			return listTable{head: n.next}, nil
+		}
+	}
+	return t, ErrNoScope
+}
+
+// Add prepends a binding.
+func (t listTable) Add(id ident.Identifier, attrs Attrs) Table {
+	return listTable{head: &listNode{id: id, attrs: attrs, next: t.head}}
+}
+
+// IsInBlock scans bindings above the most recent mark.
+func (t listTable) IsInBlock(id ident.Identifier) bool {
+	for n := t.head; n != nil && !n.mark; n = n.next {
+		if n.id.Same(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// Retrieve returns the most recent binding anywhere in the list.
+func (t listTable) Retrieve(id ident.Identifier) (Attrs, error) {
+	for n := t.head; n != nil; n = n.next {
+		if !n.mark && n.id.Same(id) {
+			return n.attrs, nil
+		}
+	}
+	return nil, ErrUndeclared
+}

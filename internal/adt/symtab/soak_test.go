@@ -1,0 +1,80 @@
+package symtab_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"algspec/internal/adt/ident"
+	"algspec/internal/adt/symtab"
+	"algspec/internal/speclib"
+)
+
+// Soak: long random operation sequences over all three implementations
+// simultaneously, including the symbolic one. Skipped with -short (the
+// symbolic table makes it the slowest test in the package).
+func TestSoakAllImplementationsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	symSpec := speclib.BaseEnv().MustGet("Symboltable")
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		impls := []symtab.Table{
+			symtab.NewStackTable(),
+			symtab.NewListTable(),
+			symtab.MustNewSymbolic(symSpec),
+		}
+		names := make([]ident.Identifier, 6)
+		for i := range names {
+			names[i] = ident.Intern(fmt.Sprintf("v%d", i))
+		}
+		for step := 0; step < 300; step++ {
+			id := names[rng.Intn(len(names))]
+			switch rng.Intn(6) {
+			case 0: // enter
+				for i := range impls {
+					impls[i] = impls[i].EnterBlock()
+				}
+			case 1: // leave
+				var next [3]symtab.Table
+				var errs [3]error
+				for i := range impls {
+					next[i], errs[i] = impls[i].LeaveBlock()
+				}
+				for i := 1; i < 3; i++ {
+					if (errs[0] == nil) != (errs[i] == nil) {
+						t.Fatalf("seed %d step %d: leave disagreement impl %d", seed, step, i)
+					}
+				}
+				if errs[0] == nil {
+					copy(impls, next[:])
+				}
+			case 2, 3: // add
+				attrs := rng.Intn(1000)
+				for i := range impls {
+					impls[i] = impls[i].Add(id, attrs)
+				}
+			case 4: // isInBlock
+				want := impls[0].IsInBlock(id)
+				for i := 1; i < 3; i++ {
+					if impls[i].IsInBlock(id) != want {
+						t.Fatalf("seed %d step %d: IsInBlock disagreement impl %d", seed, step, i)
+					}
+				}
+			default: // retrieve
+				v0, e0 := impls[0].Retrieve(id)
+				for i := 1; i < 3; i++ {
+					vi, ei := impls[i].Retrieve(id)
+					if (e0 == nil) != (ei == nil) {
+						t.Fatalf("seed %d step %d: Retrieve error disagreement impl %d", seed, step, i)
+					}
+					if e0 == nil && v0 != vi {
+						t.Fatalf("seed %d step %d: Retrieve value disagreement impl %d: %v vs %v",
+							seed, step, i, v0, vi)
+					}
+				}
+			}
+		}
+	}
+}

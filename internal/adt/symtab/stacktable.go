@@ -1,0 +1,86 @@
+package symtab
+
+import (
+	"algspec/internal/adt/array"
+	"algspec/internal/adt/ident"
+	"algspec/internal/adt/stack"
+)
+
+// stackTable is the paper's representation: "treat a value of the type as
+// a stack of arrays (with index type Identifier), where each array
+// contains the attributes for the identifiers declared in a single
+// block". Each operation is the transliteration of the paper's primed
+// code.
+type stackTable struct {
+	s stack.Stack[array.Array[Attrs]]
+}
+
+// NewStackTable returns an initialized symbol table over the
+// stack-of-arrays representation (INIT' :: PUSH(NEWSTACK, EMPTY)).
+func NewStackTable() Table {
+	return stackTable{s: stack.New[array.Array[Attrs]]().Push(array.New[Attrs]())}
+}
+
+// EnterBlock is ENTERBLOCK'(stk) :: PUSH(stk, EMPTY).
+func (t stackTable) EnterBlock() Table {
+	return stackTable{s: t.s.Push(array.New[Attrs]())}
+}
+
+// LeaveBlock is LEAVEBLOCK'(stk) :: if IS_NEWSTACK?(POP(stk)) then error
+// else POP(stk).
+func (t stackTable) LeaveBlock() (Table, error) {
+	below, err := t.s.Pop()
+	if err != nil || below.IsNew() {
+		return t, ErrNoScope
+	}
+	return stackTable{s: below}, nil
+}
+
+// Add is ADD'(stk, id, attrs) :: REPLACE(stk, ASSIGN(TOP(stk), id,
+// attrs)). The invariant that the stack is never empty (Assumption 1 of
+// the paper, established by NewStackTable and preserved by every
+// operation here) makes the error cases of TOP and REPLACE unreachable.
+func (t stackTable) Add(id ident.Identifier, attrs Attrs) Table {
+	top, err := t.s.Top()
+	if err != nil {
+		panic("symtab: broken invariant: empty stack in Add")
+	}
+	s, err := t.s.Replace(top.Assign(id, attrs))
+	if err != nil {
+		panic("symtab: broken invariant: empty stack in Add")
+	}
+	return stackTable{s: s}
+}
+
+// IsInBlock is IS_INBLOCK'?(stk, id) :: IS_UNDEFINED?(TOP(stk), id)
+// negated.
+func (t stackTable) IsInBlock(id ident.Identifier) bool {
+	top, err := t.s.Top()
+	if err != nil {
+		panic("symtab: broken invariant: empty stack in IsInBlock")
+	}
+	return !top.IsUndefined(id)
+}
+
+// Retrieve is RETRIEVE'(stk, id): search the scope arrays from the top
+// down and read from the most local one defining id.
+func (t stackTable) Retrieve(id ident.Identifier) (Attrs, error) {
+	s := t.s
+	for !s.IsNew() {
+		top, err := s.Top()
+		if err != nil {
+			break
+		}
+		if !top.IsUndefined(id) {
+			return top.Read(id)
+		}
+		s, err = s.Pop()
+		if err != nil {
+			break
+		}
+	}
+	return nil, ErrUndeclared
+}
+
+// Depth reports the number of open scopes (used by tests).
+func (t stackTable) Depth() int { return t.s.Len() }

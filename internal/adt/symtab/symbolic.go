@@ -1,0 +1,140 @@
+package symtab
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"algspec/internal/adt/ident"
+	"algspec/internal/rewrite"
+	"algspec/internal/spec"
+	"algspec/internal/term"
+)
+
+// symbolicContext is the machinery shared by every table derived from one
+// NewSymbolic call: the compiled rewrite system and the attribute
+// registry that maps opaque Attrs values to atom literals and back (the
+// algebra manipulates atoms; the registry preserves the caller's actual
+// attribute values across the round trip).
+type symbolicContext struct {
+	sys *rewrite.System
+
+	mu    sync.Mutex
+	attrs []Attrs // index -> value; atom spelling is "attr<index>"
+}
+
+// symbolicTable interprets the symbol table operations against the
+// algebraic specification itself, with no representation underneath: the
+// state is the term built from the constructors INIT, ENTERBLOCK and ADD,
+// and every observer is answered by rewriting. This realizes §5 of the
+// paper: "in the absence of an implementation, the operations of the
+// algebra may be interpreted symbolically ... except for a significant
+// loss in efficiency, the lack of an implementation can be made
+// completely transparent to the user."
+type symbolicTable struct {
+	ctx   *symbolicContext
+	state *term.Term
+}
+
+// NewSymbolic returns a symbol table interpreted against the given
+// Symboltable specification (normally speclib's). The spec must declare
+// the standard six operations.
+func NewSymbolic(sp *spec.Spec) (Table, error) {
+	for _, opName := range []string{"init", "enterblock", "leaveblock", "add", "isInblock?", "retrieve"} {
+		if _, ok := sp.Sig.Op(opName); !ok {
+			return nil, fmt.Errorf("symtab: spec %s lacks operation %s", sp.Name, opName)
+		}
+	}
+	ctx := &symbolicContext{sys: rewrite.New(sp)}
+	return symbolicTable{ctx: ctx, state: term.NewOp("init", "Symboltable")}, nil
+}
+
+// MustNewSymbolic is NewSymbolic panicking on error, for use with the
+// canonical library spec.
+func MustNewSymbolic(sp *spec.Spec) Table {
+	t, err := NewSymbolic(sp)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t symbolicTable) internAttrs(a Attrs) *term.Term {
+	t.ctx.mu.Lock()
+	defer t.ctx.mu.Unlock()
+	idx := len(t.ctx.attrs)
+	t.ctx.attrs = append(t.ctx.attrs, a)
+	return term.NewAtom("attr"+strconv.Itoa(idx), "Attrs")
+}
+
+func (t symbolicTable) lookupAttrs(spelling string) (Attrs, bool) {
+	idx, err := strconv.Atoi(spelling[len("attr"):])
+	if err != nil {
+		return nil, false
+	}
+	t.ctx.mu.Lock()
+	defer t.ctx.mu.Unlock()
+	if idx < 0 || idx >= len(t.ctx.attrs) {
+		return nil, false
+	}
+	return t.ctx.attrs[idx], true
+}
+
+func identAtom(id ident.Identifier) *term.Term {
+	return term.NewAtom(id.Name(), "Identifier")
+}
+
+// EnterBlock extends the state term with ENTERBLOCK.
+func (t symbolicTable) EnterBlock() Table {
+	return symbolicTable{ctx: t.ctx, state: term.NewOp("enterblock", "Symboltable", t.state)}
+}
+
+// LeaveBlock rewrites LEAVEBLOCK(state) to a new state term or error.
+func (t symbolicTable) LeaveBlock() (Table, error) {
+	nf, err := t.ctx.sys.Normalize(term.NewOp("leaveblock", "Symboltable", t.state))
+	if err != nil {
+		return t, fmt.Errorf("symtab: symbolic interpretation: %w", err)
+	}
+	if nf.IsErr() {
+		return t, ErrNoScope
+	}
+	return symbolicTable{ctx: t.ctx, state: nf}, nil
+}
+
+// Add extends the state term with ADD.
+func (t symbolicTable) Add(id ident.Identifier, attrs Attrs) Table {
+	st := term.NewOp("add", "Symboltable", t.state, identAtom(id), t.internAttrs(attrs))
+	return symbolicTable{ctx: t.ctx, state: st}
+}
+
+// IsInBlock rewrites IS_INBLOCK?(state, id).
+func (t symbolicTable) IsInBlock(id ident.Identifier) bool {
+	nf, err := t.ctx.sys.Normalize(term.NewOp("isInblock?", "Bool", t.state, identAtom(id)))
+	if err != nil {
+		panic(fmt.Sprintf("symtab: symbolic interpretation: %v", err))
+	}
+	return nf.IsTrue()
+}
+
+// Retrieve rewrites RETRIEVE(state, id) and maps the attribute atom back
+// to the caller's value.
+func (t symbolicTable) Retrieve(id ident.Identifier) (Attrs, error) {
+	nf, err := t.ctx.sys.Normalize(term.NewOp("retrieve", "Attrs", t.state, identAtom(id)))
+	if err != nil {
+		return nil, fmt.Errorf("symtab: symbolic interpretation: %w", err)
+	}
+	if nf.IsErr() {
+		return nil, ErrUndeclared
+	}
+	if nf.Kind != term.Atom {
+		return nil, fmt.Errorf("symtab: symbolic retrieve produced non-atom %s", nf)
+	}
+	a, ok := t.lookupAttrs(nf.Sym)
+	if !ok {
+		return nil, fmt.Errorf("symtab: unknown attribute atom %s", nf)
+	}
+	return a, nil
+}
+
+// State exposes the current state term (for tests and the examples).
+func (t symbolicTable) State() *term.Term { return t.state }

@@ -1,0 +1,63 @@
+// Package symtab implements the paper's extended example: the symbol
+// table of a compiler for a block structured language, with the six
+// operations INIT, ENTERBLOCK, LEAVEBLOCK, ADD, IS_INBLOCK? and RETRIEVE
+// whose meanings are fixed by the algebraic specification (axioms 1–9).
+//
+// Three interchangeable implementations are provided, demonstrating the
+// paper's argument that a representation-independent specification lets
+// the representation be chosen late and swapped freely:
+//
+//   - NewStackTable: the paper's own representation, a stack of arrays
+//     (package stack over package array), one array per open scope;
+//   - NewListTable: a flat list of scope marks and bindings — the
+//     assumption-free alternative representation (spec ListSymtabImpl);
+//   - NewSymbolic (in symbolic.go): no representation at all — the
+//     operations are interpreted symbolically against the algebraic
+//     specification, as §5 of the paper proposes, "except for a
+//     significant loss in efficiency ... completely transparent to the
+//     user".
+//
+// All implementations are persistent: mutating operations return a new
+// table.
+package symtab
+
+import (
+	"errors"
+
+	"algspec/internal/adt/ident"
+)
+
+// Attrs is the attribute list associated with a declared identifier. The
+// symbol table stores and returns it without interpreting it.
+type Attrs any
+
+// Boundary-condition errors (the paper's distinguished error value,
+// discriminated for better diagnostics).
+var (
+	// ErrNoScope is returned by LeaveBlock on the outermost scope
+	// (LEAVEBLOCK(INIT) = error) — "the compiler must somewhere check
+	// for mismatched (i.e. extra) end statements".
+	ErrNoScope = errors.New("symtab: no enclosing block to leave")
+	// ErrUndeclared is returned by Retrieve for an identifier declared
+	// in no enclosing scope (RETRIEVE(INIT, id) = error).
+	ErrUndeclared = errors.New("symtab: identifier undeclared")
+)
+
+// Table is the abstract type: exactly the six operations of the
+// specification. Implementations are persistent values.
+type Table interface {
+	// EnterBlock prepares a new local naming scope.
+	EnterBlock() Table
+	// LeaveBlock discards entries from the most recent scope entered
+	// and reestablishes the next outer scope.
+	LeaveBlock() (Table, error)
+	// Add records an identifier and its attributes in the current
+	// scope.
+	Add(id ident.Identifier, attrs Attrs) Table
+	// IsInBlock reports whether the identifier was already declared in
+	// the current scope (used to avoid duplicate declarations).
+	IsInBlock(id ident.Identifier) bool
+	// Retrieve returns the attributes associated with the identifier in
+	// the most local scope in which it occurs.
+	Retrieve(id ident.Identifier) (Attrs, error)
+}

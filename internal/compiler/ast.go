@@ -1,0 +1,115 @@
+package compiler
+
+// Type is a Block type.
+type Type uint8
+
+const (
+	TypeInvalid Type = iota
+	TypeInt
+	TypeBool
+	TypeString
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeBool:
+		return "bool"
+	case TypeString:
+		return "string"
+	default:
+		return "invalid"
+	}
+}
+
+// Program is a parsed Block program: a single top-level block.
+type Program struct {
+	Body *Block
+}
+
+// Stmt is a Block statement.
+type Stmt interface{ stmtPos() Pos }
+
+// Block is "begin [knows ...;] stmt* end".
+type Block struct {
+	Pos Pos
+	// Knows lists the identifiers on the knows clause; nil when absent.
+	Knows    []string
+	KnowsPos Pos
+	Stmts    []Stmt
+}
+
+func (b *Block) stmtPos() Pos { return b.Pos }
+
+// VarDecl is "var name : type [= init];".
+type VarDecl struct {
+	Pos  Pos
+	Name string
+	Type Type
+	Init Expr // may be nil
+}
+
+func (d *VarDecl) stmtPos() Pos { return d.Pos }
+
+// Assign is "name = expr;".
+type Assign struct {
+	Pos   Pos
+	Name  string
+	Value Expr
+}
+
+func (a *Assign) stmtPos() Pos { return a.Pos }
+
+// Print is "print expr;".
+type Print struct {
+	Pos   Pos
+	Value Expr
+}
+
+func (p *Print) stmtPos() Pos { return p.Pos }
+
+// Expr is a Block expression.
+type Expr interface{ exprPos() Pos }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos   Pos
+	Value int
+}
+
+func (e *IntLit) exprPos() Pos { return e.Pos }
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Pos   Pos
+	Value bool
+}
+
+func (e *BoolLit) exprPos() Pos { return e.Pos }
+
+// StringLit is a string literal.
+type StringLit struct {
+	Pos   Pos
+	Value string
+}
+
+func (e *StringLit) exprPos() Pos { return e.Pos }
+
+// VarRef is a use of an identifier.
+type VarRef struct {
+	Pos  Pos
+	Name string
+}
+
+func (e *VarRef) exprPos() Pos { return e.Pos }
+
+// BinOp is "a + b" (int addition or string concatenation) or "a < b"
+// (int comparison).
+type BinOp struct {
+	Pos  Pos
+	Op   byte // '+' or '<'
+	L, R Expr
+}
+
+func (e *BinOp) exprPos() Pos { return e.Pos }

@@ -1,0 +1,57 @@
+package compiler_test
+
+import (
+	"fmt"
+	"testing"
+
+	"algspec/internal/adt/symtab"
+	"algspec/internal/compiler"
+)
+
+func BenchmarkParse(b *testing.B) {
+	for _, blocks := range []int{8, 64} {
+		src := compiler.GenProgram(compiler.GenConfig{
+			Blocks: blocks, DeclsPerBlock: 4, UsesPerBlock: 6, Nesting: 2, Seed: 1,
+		})
+		b.Run(fmt.Sprintf("blocks=%d", blocks), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				if _, diags := compiler.Parse(src, compiler.Plain); len(diags) > 0 {
+					b.Fatal(diags)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCheck(b *testing.B) {
+	src := compiler.GenProgram(compiler.GenConfig{
+		Blocks: 32, DeclsPerBlock: 6, UsesPerBlock: 10, Nesting: 2, Seed: 2,
+	})
+	prog, diags := compiler.Parse(src, compiler.Plain)
+	if len(diags) > 0 {
+		b.Fatal(diags)
+	}
+	b.Run("stack", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			compiler.Check(prog, symtab.NewStackTable())
+		}
+	})
+	b.Run("list", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			compiler.Check(prog, symtab.NewListTable())
+		}
+	})
+}
+
+func BenchmarkGenProgram(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		compiler.GenProgram(compiler.GenConfig{
+			Blocks: 32, DeclsPerBlock: 4, UsesPerBlock: 6, Nesting: 2, Seed: int64(i),
+		})
+	}
+}

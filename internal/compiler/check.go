@@ -1,0 +1,283 @@
+package compiler
+
+import (
+	"errors"
+	"fmt"
+
+	"algspec/internal/adt/ident"
+	"algspec/internal/adt/knowlist"
+	"algspec/internal/adt/symtab"
+)
+
+// VarInfo is the attribute list the checker stores in the symbol table
+// for each declaration: the declared type and the declaration site.
+type VarInfo struct {
+	Type Type
+	Decl Pos
+}
+
+// Result is the outcome of semantic analysis.
+type Result struct {
+	Diags []Diagnostic
+	// Uses maps each resolved VarRef/Assign site to the declaration it
+	// refers to, in source order — what a later code-generation phase
+	// would consume.
+	Uses []UseInfo
+	// Stats counts symbol table traffic, for the interchangeability
+	// experiment's cost accounting.
+	Stats Stats
+}
+
+// UseInfo records one resolved identifier use.
+type UseInfo struct {
+	Use  Pos
+	Name string
+	Info VarInfo
+}
+
+// Stats counts the abstract symbol table operations performed.
+type Stats struct {
+	EnterBlock int
+	LeaveBlock int
+	Add        int
+	IsInBlock  int
+	Retrieve   int
+}
+
+// OK reports whether analysis produced no diagnostics.
+func (r *Result) OK() bool { return len(r.Diags) == 0 }
+
+// Check runs semantic analysis over a plain-mode program using the given
+// symbol table implementation — any value satisfying the Symboltable
+// specification. The checker itself never sees the representation.
+func Check(prog *Program, table symtab.Table) *Result {
+	c := &checker{plainTab: table}
+	if prog == nil || prog.Body == nil {
+		c.errorf(Pos{1, 1}, "empty program")
+		return c.result()
+	}
+	c.checkBlock(prog.Body, true)
+	return c.result()
+}
+
+// CheckKnows runs semantic analysis over a knows-mode program.
+func CheckKnows(prog *Program, table symtab.KnowsTable) *Result {
+	c := &checker{knowsTab: table, knowsMode: true}
+	if prog == nil || prog.Body == nil {
+		c.errorf(Pos{1, 1}, "empty program")
+		return c.result()
+	}
+	c.checkBlock(prog.Body, true)
+	return c.result()
+}
+
+type checker struct {
+	plainTab  symtab.Table
+	knowsTab  symtab.KnowsTable
+	knowsMode bool
+	diags     []Diagnostic
+	uses      []UseInfo
+	stats     Stats
+}
+
+func (c *checker) result() *Result {
+	return &Result{Diags: c.diags, Uses: c.uses, Stats: c.stats}
+}
+
+func (c *checker) errorf(pos Pos, format string, args ...any) {
+	c.diags = append(c.diags, Diagnostic{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Table access helpers: route to whichever dialect's table is active,
+// counting operations.
+
+func (c *checker) enterBlock(b *Block) {
+	c.stats.EnterBlock++
+	if c.knowsMode {
+		kl := knowlist.Create()
+		for _, name := range b.Knows {
+			kl = kl.Append(ident.Intern(name))
+		}
+		c.knowsTab = c.knowsTab.EnterBlock(kl)
+		return
+	}
+	c.plainTab = c.plainTab.EnterBlock()
+}
+
+func (c *checker) leaveBlock(pos Pos) {
+	c.stats.LeaveBlock++
+	if c.knowsMode {
+		t, err := c.knowsTab.LeaveBlock()
+		if err != nil {
+			c.errorf(pos, "extra 'end': no enclosing block to leave")
+			return
+		}
+		c.knowsTab = t
+		return
+	}
+	t, err := c.plainTab.LeaveBlock()
+	if err != nil {
+		c.errorf(pos, "extra 'end': no enclosing block to leave")
+		return
+	}
+	c.plainTab = t
+}
+
+func (c *checker) add(id ident.Identifier, info VarInfo) {
+	c.stats.Add++
+	if c.knowsMode {
+		c.knowsTab = c.knowsTab.Add(id, info)
+		return
+	}
+	c.plainTab = c.plainTab.Add(id, info)
+}
+
+func (c *checker) isInBlock(id ident.Identifier) bool {
+	c.stats.IsInBlock++
+	if c.knowsMode {
+		return c.knowsTab.IsInBlock(id)
+	}
+	return c.plainTab.IsInBlock(id)
+}
+
+func (c *checker) retrieve(id ident.Identifier) (VarInfo, error) {
+	c.stats.Retrieve++
+	var (
+		attrs symtab.Attrs
+		err   error
+	)
+	if c.knowsMode {
+		attrs, err = c.knowsTab.Retrieve(id)
+	} else {
+		attrs, err = c.plainTab.Retrieve(id)
+	}
+	if err != nil {
+		return VarInfo{}, err
+	}
+	info, ok := attrs.(VarInfo)
+	if !ok {
+		return VarInfo{}, fmt.Errorf("compiler: symbol table returned %T", attrs)
+	}
+	return info, nil
+}
+
+// checkBlock analyzes one block. The top-level block reuses the initial
+// scope (INIT already establishes one for the stack representation;
+// entering another would make top-level declarations leave-able).
+func (c *checker) checkBlock(b *Block, top bool) {
+	if !top || c.knowsMode {
+		// In knows mode even the top-level block carries its (empty)
+		// knows list; entering is required for uniform semantics.
+		if !top {
+			c.validateKnows(b)
+		}
+		c.enterBlock(b)
+		defer c.leaveBlock(b.Pos)
+	}
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+}
+
+// validateKnows checks that each identifier on a knows clause is visible
+// in the enclosing scope at block entry.
+func (c *checker) validateKnows(b *Block) {
+	if !c.knowsMode || b.Knows == nil {
+		return
+	}
+	for _, name := range b.Knows {
+		if _, err := c.retrieve(ident.Intern(name)); err != nil {
+			c.errorf(b.KnowsPos, "knows list names %s, which is not visible here", name)
+		}
+	}
+}
+
+func (c *checker) checkStmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		c.checkBlock(s, false)
+	case *VarDecl:
+		id := ident.Intern(s.Name)
+		if c.isInBlock(id) {
+			prev, _ := c.retrieve(id)
+			c.errorf(s.Pos, "%s redeclared in this block (previous declaration at %s)", s.Name, prev.Decl)
+			return
+		}
+		if s.Init != nil {
+			ty := c.checkExpr(s.Init)
+			if ty != TypeInvalid && ty != s.Type {
+				c.errorf(s.Init.exprPos(), "cannot initialize %s %s with %s value", s.Type, s.Name, ty)
+			}
+		}
+		c.add(id, VarInfo{Type: s.Type, Decl: s.Pos})
+	case *Assign:
+		info, ok := c.lookup(s.Pos, s.Name)
+		ty := c.checkExpr(s.Value)
+		if ok && ty != TypeInvalid && ty != info.Type {
+			c.errorf(s.Pos, "cannot assign %s value to %s %s", ty, info.Type, s.Name)
+		}
+	case *Print:
+		c.checkExpr(s.Value)
+	}
+}
+
+// lookup resolves an identifier use, reporting undeclared and
+// not-on-knows-list errors.
+func (c *checker) lookup(pos Pos, name string) (VarInfo, bool) {
+	id := ident.Intern(name)
+	info, err := c.retrieve(id)
+	switch {
+	case err == nil:
+		c.uses = append(c.uses, UseInfo{Use: pos, Name: name, Info: info})
+		return info, true
+	case errors.Is(err, symtab.ErrNotKnown):
+		c.errorf(pos, "%s is declared in an outer block but not on this block's knows list", name)
+	default:
+		c.errorf(pos, "%s undeclared", name)
+	}
+	return VarInfo{}, false
+}
+
+// checkExpr type-checks an expression, returning its type (TypeInvalid
+// after an error, which suppresses cascading diagnostics).
+func (c *checker) checkExpr(e Expr) Type {
+	switch e := e.(type) {
+	case *IntLit:
+		return TypeInt
+	case *BoolLit:
+		return TypeBool
+	case *StringLit:
+		return TypeString
+	case *VarRef:
+		info, ok := c.lookup(e.Pos, e.Name)
+		if !ok {
+			return TypeInvalid
+		}
+		return info.Type
+	case *BinOp:
+		l := c.checkExpr(e.L)
+		r := c.checkExpr(e.R)
+		if l == TypeInvalid || r == TypeInvalid {
+			return TypeInvalid
+		}
+		switch e.Op {
+		case '+':
+			if l == r && (l == TypeInt || l == TypeString) {
+				return l
+			}
+			c.errorf(e.Pos, "operator + requires two ints or two strings, got %s and %s", l, r)
+			return TypeInvalid
+		case '<':
+			if l == TypeInt && r == TypeInt {
+				return TypeBool
+			}
+			c.errorf(e.Pos, "operator < requires two ints, got %s and %s", l, r)
+			return TypeInvalid
+		default:
+			c.errorf(e.Pos, "unknown operator %q", e.Op)
+			return TypeInvalid
+		}
+	default:
+		return TypeInvalid
+	}
+}

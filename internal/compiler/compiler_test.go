@@ -1,0 +1,345 @@
+package compiler_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"algspec/internal/adt/symtab"
+	"algspec/internal/compiler"
+	"algspec/internal/speclib"
+)
+
+func parse(t *testing.T, src string, mode compiler.Mode) *compiler.Program {
+	t.Helper()
+	prog, diags := compiler.Parse(src, mode)
+	if len(diags) > 0 {
+		t.Fatalf("parse: %v", diags)
+	}
+	return prog
+}
+
+func TestParseValidProgram(t *testing.T) {
+	src := `
+begin
+  var x : int = 1 + 2;
+  var ok : bool = x < 3;
+  var s : string = "hi";
+  x = x + 40;
+  print (x + 1) + 2;
+  begin
+    var y : int;
+    y = x;
+  end
+  print ok;
+end
+`
+	prog := parse(t, src, compiler.Plain)
+	if prog.Body == nil || len(prog.Body.Stmts) != 7 {
+		t.Fatalf("stmts = %d", len(prog.Body.Stmts))
+	}
+	if _, ok := prog.Body.Stmts[6].(*compiler.Print); !ok {
+		t.Errorf("last stmt = %T", prog.Body.Stmts[6])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                // no begin
+		"begin",                           // missing end
+		"begin var ; end",                 // missing name
+		"begin var x : float; end",        // unknown type
+		"begin print 1 end",               // missing semicolon
+		"begin x = ; end",                 // missing expression
+		"begin end extra",                 // junk after program
+		"begin print \"unterminated; end", // unterminated string
+		"begin knows a; end",              // knows in plain mode
+	}
+	for _, src := range cases {
+		if _, diags := compiler.Parse(src, compiler.Plain); len(diags) == 0 {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func check(t *testing.T, src string) *compiler.Result {
+	t.Helper()
+	prog, diags := compiler.Parse(src, compiler.Plain)
+	if len(diags) > 0 {
+		t.Fatalf("parse: %v", diags)
+	}
+	return compiler.Check(prog, symtab.NewStackTable())
+}
+
+func wantDiag(t *testing.T, res *compiler.Result, substr string) {
+	t.Helper()
+	for _, d := range res.Diags {
+		if strings.Contains(d.Msg, substr) {
+			return
+		}
+	}
+	t.Errorf("no diagnostic containing %q in %v", substr, res.Diags)
+}
+
+func TestCheckCleanProgram(t *testing.T) {
+	res := check(t, `
+begin
+  var x : int = 1;
+  begin
+    var y : int = x + 1;
+    print y < x;
+  end
+end
+`)
+	if !res.OK() {
+		t.Fatalf("diags = %v", res.Diags)
+	}
+	if len(res.Uses) != 3 { // x in init, y and x in print... x+1 uses x; y<x uses both
+		t.Errorf("uses = %d: %v", len(res.Uses), res.Uses)
+	}
+	if res.Stats.EnterBlock != 1 || res.Stats.LeaveBlock != 1 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	wantDiag(t, check(t, "begin print ghost; end"), "undeclared")
+	wantDiag(t, check(t, "begin var x : int; var x : bool; end"), "redeclared in this block")
+	wantDiag(t, check(t, "begin var x : int = true; end"), "cannot initialize")
+	wantDiag(t, check(t, "begin var x : int; x = \"s\"; end"), "cannot assign")
+	wantDiag(t, check(t, "begin var x : int; print x + true; end"), "requires two ints or two strings")
+	wantDiag(t, check(t, "begin var s : string; print s < s; end"), "requires two ints")
+	wantDiag(t, check(t, "begin ghost = 1; end"), "undeclared")
+}
+
+func TestShadowingIsLegal(t *testing.T) {
+	res := check(t, `
+begin
+  var x : int = 1;
+  begin
+    var x : bool = true;  // same name, inner scope: fine
+    print x;
+  end
+  print x + 1;            // the int again
+end
+`)
+	if !res.OK() {
+		t.Fatalf("diags = %v", res.Diags)
+	}
+	// The inner print resolves to the bool, the outer to the int.
+	if res.Uses[0].Info.Type != compiler.TypeBool {
+		t.Errorf("inner use type = %v", res.Uses[0].Info.Type)
+	}
+	if res.Uses[1].Info.Type != compiler.TypeInt {
+		t.Errorf("outer use type = %v", res.Uses[1].Info.Type)
+	}
+}
+
+func TestStringConcat(t *testing.T) {
+	res := check(t, `begin var s : string = "a" + "b"; print s + "c"; end`)
+	if !res.OK() {
+		t.Fatalf("diags = %v", res.Diags)
+	}
+}
+
+func TestRedeclarationMentionsPreviousSite(t *testing.T) {
+	res := check(t, "begin var x : int;\n  var x : bool;\nend")
+	wantDiag(t, res, "previous declaration at 1:7")
+}
+
+// All three symbol table implementations produce identical diagnostics
+// on generated programs (E7's correctness half).
+func TestTablesInterchangeable(t *testing.T) {
+	symSpec := speclib.BaseEnv().MustGet("Symboltable")
+	for seed := int64(0); seed < 6; seed++ {
+		src := compiler.GenProgram(compiler.GenConfig{
+			Blocks: 6, DeclsPerBlock: 3, UsesPerBlock: 4,
+			Nesting: int(seed % 3), Seed: seed,
+		})
+		prog, diags := compiler.Parse(src, compiler.Plain)
+		if len(diags) > 0 {
+			t.Fatalf("seed %d: parse %v", seed, diags)
+		}
+		rStack := compiler.Check(prog, symtab.NewStackTable())
+		rList := compiler.Check(prog, symtab.NewListTable())
+		rSpec := compiler.Check(prog, symtab.MustNewSymbolic(symSpec))
+		a, b, c := diagStrings(rStack), diagStrings(rList), diagStrings(rSpec)
+		if a != b || b != c {
+			t.Errorf("seed %d: diagnostics differ:\nstack: %s\nlist: %s\nspec: %s", seed, a, b, c)
+		}
+		if len(rStack.Uses) != len(rList.Uses) || len(rList.Uses) != len(rSpec.Uses) {
+			t.Errorf("seed %d: resolved uses differ", seed)
+		}
+	}
+}
+
+func diagStrings(r *compiler.Result) string {
+	var parts []string
+	for _, d := range r.Diags {
+		parts = append(parts, d.String())
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Generated programs are always valid (the generator's contract).
+func TestQuickGeneratedProgramsValid(t *testing.T) {
+	f := func(seed int64, blocks, decls, uses uint8, nesting uint8) bool {
+		cfg := compiler.GenConfig{
+			Blocks:        int(blocks%8) + 1,
+			DeclsPerBlock: int(decls%4) + 1,
+			UsesPerBlock:  int(uses % 5),
+			Nesting:       int(nesting % 3),
+			Seed:          seed,
+		}
+		src := compiler.GenProgram(cfg)
+		prog, diags := compiler.Parse(src, compiler.Plain)
+		if len(diags) > 0 {
+			return false
+		}
+		return compiler.Check(prog, symtab.NewStackTable()).OK()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Knows mode: clauses gate inheritance.
+func TestKnowsMode(t *testing.T) {
+	src := `
+begin
+  var a : int = 1;
+  var b : int = 2;
+  begin knows a;
+    print a;
+    print b;
+    var c : int = a;
+  end
+end
+`
+	prog := parse(t, src, compiler.Knows)
+	res := compiler.CheckKnows(prog, symtab.NewKnowsTable())
+	if len(res.Diags) != 1 {
+		t.Fatalf("diags = %v", res.Diags)
+	}
+	if !strings.Contains(res.Diags[0].Msg, "knows list") {
+		t.Errorf("diag = %v", res.Diags[0])
+	}
+}
+
+func TestKnowsListValidation(t *testing.T) {
+	// Naming an invisible identifier on a knows clause is an error.
+	src := `
+begin
+  var a : int = 1;
+  begin knows ghost;
+    print a;
+  end
+end
+`
+	prog := parse(t, src, compiler.Knows)
+	res := compiler.CheckKnows(prog, symtab.NewKnowsTable())
+	wantDiag(t, res, "not visible here")
+}
+
+func TestKnowsNested(t *testing.T) {
+	// Inheritance must be granted at every level.
+	src := `
+begin
+  var a : int = 1;
+  begin knows a;
+    begin knows a;
+      print a;
+    end
+  end
+end
+`
+	prog := parse(t, src, compiler.Knows)
+	if res := compiler.CheckKnows(prog, symtab.NewKnowsTable()); !res.OK() {
+		t.Fatalf("diags = %v", res.Diags)
+	}
+	// Omitting the middle grant blocks the inner use.
+	src2 := strings.Replace(src, "begin knows a;\n    begin knows a;", "begin\n    begin knows a;", 1)
+	prog2 := parse(t, src2, compiler.Knows)
+	res2 := compiler.CheckKnows(prog2, symtab.NewKnowsTable())
+	if res2.OK() {
+		t.Error("missing middle grant accepted")
+	}
+}
+
+// Generated knows-mode programs are valid in knows mode.
+func TestQuickGeneratedKnowsProgramsValid(t *testing.T) {
+	f := func(seed int64, blocks uint8) bool {
+		cfg := compiler.GenConfig{
+			Blocks:        int(blocks%6) + 1,
+			DeclsPerBlock: 2,
+			UsesPerBlock:  3,
+			Nesting:       2,
+			Seed:          seed,
+			Knows:         true,
+		}
+		src := compiler.GenProgram(cfg)
+		prog, diags := compiler.Parse(src, compiler.Knows)
+		if len(diags) > 0 {
+			return false
+		}
+		return compiler.CheckKnows(prog, symtab.NewKnowsTable()).OK()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	res := check(t, `
+begin
+  var x : int;
+  begin
+    var y : int;
+    print y;
+  end
+  begin
+    print x;
+  end
+end
+`)
+	if !res.OK() {
+		t.Fatalf("diags = %v", res.Diags)
+	}
+	s := res.Stats
+	if s.EnterBlock != 2 || s.LeaveBlock != 2 {
+		t.Errorf("blocks = %+v", s)
+	}
+	if s.Add != 2 || s.IsInBlock != 2 || s.Retrieve != 2 {
+		t.Errorf("ops = %+v", s)
+	}
+}
+
+func TestExtraEndDetectedByParser(t *testing.T) {
+	_, diags := compiler.Parse("begin end end", compiler.Plain)
+	if len(diags) == 0 {
+		t.Error("extra end accepted")
+	}
+}
+
+func TestEmptyProgramChecks(t *testing.T) {
+	res := compiler.Check(nil, symtab.NewStackTable())
+	if res.OK() {
+		t.Error("nil program checked clean")
+	}
+	res2 := compiler.CheckKnows(nil, symtab.NewKnowsTable())
+	if res2.OK() {
+		t.Error("nil knows program checked clean")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if compiler.TypeInt.String() != "int" ||
+		compiler.TypeBool.String() != "bool" ||
+		compiler.TypeString.String() != "string" ||
+		compiler.TypeInvalid.String() != "invalid" {
+		t.Error("Type.String wrong")
+	}
+	if compiler.Plain.String() != "plain" || compiler.Knows.String() != "knows" {
+		t.Error("Mode.String wrong")
+	}
+}

@@ -1,0 +1,164 @@
+package compiler
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenConfig shapes a generated Block program, the workload for the
+// symbol-table experiments: Blocks nested blocks, DeclsPerBlock variable
+// declarations per block, and UsesPerBlock identifier uses per block
+// (each referencing a variable declared in this or an enclosing block).
+type GenConfig struct {
+	Blocks        int
+	DeclsPerBlock int
+	UsesPerBlock  int
+	// Nesting selects layout: 0 = fully nested (depth = Blocks),
+	// 1 = fully sequential (sibling blocks), otherwise mixed.
+	Nesting int
+	Seed    int64
+	// Knows emits knows clauses naming every variable the block uses
+	// from outer scopes (so the program stays valid in knows mode).
+	Knows bool
+}
+
+// GenProgram produces a well-formed Block program's source text. The
+// output is deterministic for a given config.
+func GenProgram(cfg GenConfig) string {
+	if cfg.Blocks <= 0 {
+		cfg.Blocks = 1
+	}
+	if cfg.DeclsPerBlock <= 0 {
+		cfg.DeclsPerBlock = 1
+	}
+	g := &progGen{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	var b strings.Builder
+	g.emitBlock(&b, 0, nil, 0)
+	return b.String()
+}
+
+type progGen struct {
+	cfg     GenConfig
+	rng     *rand.Rand
+	counter int
+}
+
+// emitBlock writes one block and recursively its children. visible holds
+// the variables of enclosing blocks (name and type).
+type genVar struct {
+	name string
+	ty   Type
+}
+
+func (g *progGen) emitBlock(b *strings.Builder, depth int, visible []genVar, emitted int) int {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%sbegin\n", indent)
+	emitted++
+
+	var locals []genVar
+	inherited := append([]genVar(nil), visible...)
+
+	// Pre-plan uses of outer variables so a knows clause can be emitted
+	// before the statements.
+	var outerUses []genVar
+	for i := 0; i < g.cfg.UsesPerBlock && len(inherited) > 0; i++ {
+		if g.rng.Intn(2) == 0 {
+			outerUses = append(outerUses, inherited[g.rng.Intn(len(inherited))])
+		}
+	}
+	if g.cfg.Knows && depth > 0 {
+		seen := map[string]bool{}
+		var names []string
+		for _, v := range outerUses {
+			if !seen[v.name] {
+				seen[v.name] = true
+				names = append(names, v.name)
+			}
+		}
+		if len(names) > 0 {
+			fmt.Fprintf(b, "%s  knows %s;\n", indent, strings.Join(names, ", "))
+		} else {
+			// An empty knows clause is not legal syntax; fall back to a
+			// single known variable if any exists, else no clause and
+			// no outer uses.
+			outerUses = nil
+		}
+	}
+
+	for i := 0; i < g.cfg.DeclsPerBlock; i++ {
+		g.counter++
+		v := genVar{name: fmt.Sprintf("v%d", g.counter), ty: []Type{TypeInt, TypeBool, TypeString}[g.rng.Intn(3)]}
+		locals = append(locals, v)
+		fmt.Fprintf(b, "%s  var %s : %s = %s;\n", indent, v.name, v.ty, g.literal(v.ty))
+	}
+
+	usable := append(append([]genVar(nil), locals...), outerUses...)
+	for i := 0; i < g.cfg.UsesPerBlock && len(usable) > 0; i++ {
+		v := usable[g.rng.Intn(len(usable))]
+		fmt.Fprintf(b, "%s  print %s;\n", indent, v.name)
+	}
+
+	if emitted < g.cfg.Blocks {
+		// In knows mode a child can only inherit what THIS block can
+		// itself reach: its locals plus the outer variables on its own
+		// knows clause (retrieval crosses every intervening mark).
+		parentVars := visible
+		if g.cfg.Knows && depth > 0 {
+			seen := map[string]bool{}
+			parentVars = nil
+			for _, v := range outerUses {
+				if !seen[v.name] {
+					seen[v.name] = true
+					parentVars = append(parentVars, v)
+				}
+			}
+		}
+		childVisible := append(append([]genVar(nil), parentVars...), locals...)
+		switch g.cfg.Nesting {
+		case 0:
+			emitted = g.emitBlock(b, depth+1, childVisible, emitted)
+		case 1:
+			for emitted < g.cfg.Blocks {
+				emitted = g.emitBlockFlat(b, depth+1, childVisible, emitted)
+			}
+		default:
+			for emitted < g.cfg.Blocks {
+				if g.rng.Intn(2) == 0 && emitted < g.cfg.Blocks {
+					emitted = g.emitBlock(b, depth+1, childVisible, emitted)
+				} else {
+					emitted = g.emitBlockFlat(b, depth+1, childVisible, emitted)
+				}
+			}
+		}
+	}
+
+	fmt.Fprintf(b, "%send\n", indent)
+	return emitted
+}
+
+// emitBlockFlat writes one leaf block (no children).
+func (g *progGen) emitBlockFlat(b *strings.Builder, depth int, visible []genVar, emitted int) int {
+	saved := g.cfg.Blocks
+	g.cfg.Blocks = emitted + 1 // force leaf
+	out := g.emitBlock(b, depth, visible, emitted)
+	g.cfg.Blocks = saved
+	return out
+}
+
+func (g *progGen) literal(ty Type) string {
+	switch ty {
+	case TypeInt:
+		return fmt.Sprint(g.rng.Intn(100))
+	case TypeBool:
+		if g.rng.Intn(2) == 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprintf("%q", fmt.Sprintf("s%d", g.rng.Intn(100)))
+	}
+}

@@ -1,0 +1,154 @@
+package compiler
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Diagnostic is a positioned error or warning from any compiler phase.
+type Diagnostic struct {
+	Pos Pos
+	Msg string
+}
+
+func (d Diagnostic) String() string { return fmt.Sprintf("%s: %s", d.Pos, d.Msg) }
+
+type lexer struct {
+	src   string
+	pos   int
+	line  int
+	col   int
+	diags []Diagnostic
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (lx *lexer) errorf(pos Pos, format string, args ...any) {
+	lx.diags = append(lx.diags, Diagnostic{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (lx *lexer) peek() (rune, int) {
+	if lx.pos >= len(lx.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(lx.src[lx.pos:])
+}
+
+func (lx *lexer) advance(r rune, size int) {
+	lx.pos += size
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+}
+
+func (lx *lexer) here() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) next() token {
+	for {
+		r, size := lx.peek()
+		if size == 0 {
+			return token{kind: tEOF, pos: lx.here()}
+		}
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			lx.advance(r, size)
+		case r == '/':
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/' {
+				for {
+					r2, s2 := lx.peek()
+					if s2 == 0 || r2 == '\n' {
+						break
+					}
+					lx.advance(r2, s2)
+				}
+				continue
+			}
+			lx.errorf(lx.here(), "unexpected character %q", r)
+			lx.advance(r, size)
+		case r == ';':
+			return lx.single(tSemi, r, size)
+		case r == ':':
+			return lx.single(tColon, r, size)
+		case r == '=':
+			return lx.single(tAssign, r, size)
+		case r == '+':
+			return lx.single(tPlus, r, size)
+		case r == '<':
+			return lx.single(tLess, r, size)
+		case r == '(':
+			return lx.single(tLParen, r, size)
+		case r == ')':
+			return lx.single(tRParen, r, size)
+		case r == ',':
+			return lx.single(tComma, r, size)
+		case r == '"':
+			return lx.stringLit()
+		case unicode.IsDigit(r):
+			return lx.intLit()
+		case unicode.IsLetter(r) || r == '_':
+			return lx.ident()
+		default:
+			lx.errorf(lx.here(), "unexpected character %q", r)
+			lx.advance(r, size)
+		}
+	}
+}
+
+func (lx *lexer) single(kind tokKind, r rune, size int) token {
+	t := token{kind: kind, text: string(r), pos: lx.here()}
+	lx.advance(r, size)
+	return t
+}
+
+func (lx *lexer) intLit() token {
+	pos := lx.here()
+	start := lx.pos
+	for {
+		r, size := lx.peek()
+		if size == 0 || !unicode.IsDigit(r) {
+			break
+		}
+		lx.advance(r, size)
+	}
+	return token{kind: tInt, text: lx.src[start:lx.pos], pos: pos}
+}
+
+func (lx *lexer) stringLit() token {
+	pos := lx.here()
+	lx.advance('"', 1)
+	start := lx.pos
+	for {
+		r, size := lx.peek()
+		if size == 0 || r == '\n' {
+			lx.errorf(pos, "unterminated string literal")
+			return token{kind: tString, text: lx.src[start:lx.pos], pos: pos}
+		}
+		if r == '"' {
+			text := lx.src[start:lx.pos]
+			lx.advance(r, size)
+			return token{kind: tString, text: text, pos: pos}
+		}
+		lx.advance(r, size)
+	}
+}
+
+func (lx *lexer) ident() token {
+	pos := lx.here()
+	start := lx.pos
+	for {
+		r, size := lx.peek()
+		if size == 0 || !(unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_') {
+			break
+		}
+		lx.advance(r, size)
+	}
+	text := lx.src[start:lx.pos]
+	if kind, ok := blockKeywords[text]; ok {
+		return token{kind: kind, text: text, pos: pos}
+	}
+	return token{kind: tIdent, text: text, pos: pos}
+}

@@ -1,0 +1,238 @@
+package compiler
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Mode selects the language dialect.
+type Mode uint8
+
+const (
+	// Plain is the ordinary block structured language: inner blocks
+	// inherit all outer variables.
+	Plain Mode = iota
+	// Knows is the §4 variant: a block inherits only the variables on
+	// its knows clause.
+	Knows
+)
+
+func (m Mode) String() string {
+	if m == Knows {
+		return "knows"
+	}
+	return "plain"
+}
+
+// Parse parses a Block program in the given mode. Diagnostics cover both
+// lexical and syntactic errors; a best-effort Program is returned even
+// when diagnostics are present (it may be nil for unrecoverable input).
+func Parse(src string, mode Mode) (*Program, []Diagnostic) {
+	p := &parser{lx: newLexer(src), mode: mode}
+	p.next()
+	body := p.block()
+	if p.tok.kind != tEOF {
+		p.errorf(p.tok.pos, "unexpected %s after program", p.tok)
+	}
+	p.diags = append(p.lx.diags, p.diags...)
+	if body == nil {
+		return nil, p.diags
+	}
+	return &Program{Body: body}, p.diags
+}
+
+type parser struct {
+	lx    *lexer
+	tok   token
+	mode  Mode
+	diags []Diagnostic
+}
+
+func (p *parser) next() { p.tok = p.lx.next() }
+
+func (p *parser) errorf(pos Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *parser) expect(kind tokKind) token {
+	t := p.tok
+	if t.kind != kind {
+		p.errorf(t.pos, "expected %s, found %s", kind, t)
+		return t
+	}
+	p.next()
+	return t
+}
+
+func (p *parser) accept(kind tokKind) bool {
+	if p.tok.kind == kind {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// block parses "begin [knows id, id, ...;] stmt* end".
+func (p *parser) block() *Block {
+	pos := p.tok.pos
+	if p.tok.kind != tBegin {
+		p.errorf(pos, "expected 'begin', found %s", p.tok)
+		return nil
+	}
+	p.next()
+	b := &Block{Pos: pos}
+	if p.tok.kind == tKnows {
+		b.KnowsPos = p.tok.pos
+		if p.mode != Knows {
+			p.errorf(p.tok.pos, "knows clauses require the knows dialect")
+		}
+		p.next()
+		for {
+			id := p.expect(tIdent)
+			if id.kind != tIdent {
+				break
+			}
+			b.Knows = append(b.Knows, id.text)
+			if !p.accept(tComma) {
+				break
+			}
+		}
+		p.expect(tSemi)
+		if b.Knows == nil {
+			b.Knows = []string{}
+		}
+	}
+	for {
+		switch p.tok.kind {
+		case tEnd:
+			p.next()
+			return b
+		case tEOF:
+			p.errorf(p.tok.pos, "unexpected end of input: block opened at %s is missing 'end'", pos)
+			return b
+		default:
+			if s := p.stmt(); s != nil {
+				b.Stmts = append(b.Stmts, s)
+			} else {
+				// Recovery: skip one token and retry.
+				p.next()
+			}
+		}
+	}
+}
+
+func (p *parser) stmt() Stmt {
+	switch p.tok.kind {
+	case tBegin:
+		b := p.block()
+		p.accept(tSemi) // optional after a block
+		if b == nil {
+			return nil
+		}
+		return b
+	case tVar:
+		return p.varDecl()
+	case tPrint:
+		pos := p.tok.pos
+		p.next()
+		e := p.expr()
+		p.expect(tSemi)
+		return &Print{Pos: pos, Value: e}
+	case tIdent:
+		pos := p.tok.pos
+		name := p.tok.text
+		p.next()
+		p.expect(tAssign)
+		e := p.expr()
+		p.expect(tSemi)
+		return &Assign{Pos: pos, Name: name, Value: e}
+	default:
+		p.errorf(p.tok.pos, "expected statement, found %s", p.tok)
+		return nil
+	}
+}
+
+func (p *parser) varDecl() Stmt {
+	pos := p.tok.pos
+	p.expect(tVar)
+	name := p.expect(tIdent)
+	p.expect(tColon)
+	var ty Type
+	switch p.tok.kind {
+	case tTypeInt:
+		ty = TypeInt
+		p.next()
+	case tTypeBool:
+		ty = TypeBool
+		p.next()
+	case tTypeString:
+		ty = TypeString
+		p.next()
+	default:
+		p.errorf(p.tok.pos, "expected type, found %s", p.tok)
+	}
+	d := &VarDecl{Pos: pos, Name: name.text, Type: ty}
+	if p.accept(tAssign) {
+		d.Init = p.expr()
+	}
+	p.expect(tSemi)
+	return d
+}
+
+// expr := add [ '<' add ]
+func (p *parser) expr() Expr {
+	l := p.add()
+	if p.tok.kind == tLess {
+		pos := p.tok.pos
+		p.next()
+		r := p.add()
+		return &BinOp{Pos: pos, Op: '<', L: l, R: r}
+	}
+	return l
+}
+
+// add := primary { '+' primary }
+func (p *parser) add() Expr {
+	l := p.primary()
+	for p.tok.kind == tPlus {
+		pos := p.tok.pos
+		p.next()
+		r := p.primary()
+		l = &BinOp{Pos: pos, Op: '+', L: l, R: r}
+	}
+	return l
+}
+
+func (p *parser) primary() Expr {
+	t := p.tok
+	switch t.kind {
+	case tInt:
+		p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			p.errorf(t.pos, "bad integer literal %q", t.text)
+		}
+		return &IntLit{Pos: t.pos, Value: n}
+	case tTrue:
+		p.next()
+		return &BoolLit{Pos: t.pos, Value: true}
+	case tFalse:
+		p.next()
+		return &BoolLit{Pos: t.pos, Value: false}
+	case tString:
+		p.next()
+		return &StringLit{Pos: t.pos, Value: t.text}
+	case tIdent:
+		p.next()
+		return &VarRef{Pos: t.pos, Name: t.text}
+	case tLParen:
+		p.next()
+		e := p.expr()
+		p.expect(tRParen)
+		return e
+	default:
+		p.errorf(t.pos, "expected expression, found %s", t)
+		p.next()
+		return &IntLit{Pos: t.pos}
+	}
+}

@@ -1,0 +1,128 @@
+// Package compiler implements a front end for "Block", a small block
+// structured language, as the motivating application of the paper's
+// extended example: its semantic analysis is written entirely against the
+// abstract symbol table operations INIT, ENTERBLOCK, LEAVEBLOCK, ADD,
+// IS_INBLOCK? and RETRIEVE, so any implementation satisfying the
+// Symboltable specification — the paper's stack of arrays, the flat-list
+// alternative, or the symbolically interpreted specification itself —
+// can be plugged in unchanged (§5's interchangeability).
+//
+// The package also supports the paper's language-change exercise: in
+// knows mode, a block may open with a "knows" clause and inherits only
+// the listed outer variables (spec SymboltableKnows).
+//
+// A Block program:
+//
+//	begin
+//	  var x : int = 1;
+//	  var s : string = "hi";
+//	  begin
+//	    var x : bool = true;   // shadows the outer x
+//	    print x;
+//	    print s + "!";
+//	  end
+//	  print x + 2;
+//	end
+package compiler
+
+import "fmt"
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tString
+	tSemi   // ;
+	tColon  // :
+	tAssign // =
+	tPlus   // +
+	tLess   // <
+	tLParen // (
+	tRParen // )
+	tComma  // ,
+
+	tBegin
+	tEnd
+	tVar
+	tPrint
+	tKnows
+	tTrue
+	tFalse
+	tTypeInt
+	tTypeBool
+	tTypeString
+)
+
+var tokNames = map[tokKind]string{
+	tEOF:        "end of input",
+	tIdent:      "identifier",
+	tInt:        "integer literal",
+	tString:     "string literal",
+	tSemi:       "';'",
+	tColon:      "':'",
+	tAssign:     "'='",
+	tPlus:       "'+'",
+	tLess:       "'<'",
+	tLParen:     "'('",
+	tRParen:     "')'",
+	tComma:      "','",
+	tBegin:      "'begin'",
+	tEnd:        "'end'",
+	tVar:        "'var'",
+	tPrint:      "'print'",
+	tKnows:      "'knows'",
+	tTrue:       "'true'",
+	tFalse:      "'false'",
+	tTypeInt:    "'int'",
+	tTypeBool:   "'bool'",
+	tTypeString: "'string'",
+}
+
+func (k tokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tokKind(%d)", int(k))
+}
+
+var blockKeywords = map[string]tokKind{
+	"begin":  tBegin,
+	"end":    tEnd,
+	"var":    tVar,
+	"print":  tPrint,
+	"knows":  tKnows,
+	"true":   tTrue,
+	"false":  tFalse,
+	"int":    tTypeInt,
+	"bool":   tTypeBool,
+	"string": tTypeString,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  Pos
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	case tInt:
+		return fmt.Sprintf("integer %s", t.text)
+	case tString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return t.kind.String()
+	}
+}

@@ -1,0 +1,42 @@
+package complete_test
+
+import (
+	"fmt"
+
+	"algspec/internal/complete"
+	"algspec/internal/core"
+	"algspec/internal/speclib"
+)
+
+// The checker names the exact uncovered case — here the paper's
+// "particularly likely to be overlooked" boundary condition, left out on
+// purpose.
+func ExampleCheck() {
+	env := core.NewEnv()
+	env.MustLoad(speclib.Bool)
+	sps, err := env.Load(`
+spec Q
+  uses Bool
+  param Item
+  ops
+    new      : -> Q
+    add      : Q, Item -> Q
+    remove   : Q -> Q
+    isEmpty? : Q -> Bool
+  vars
+    q : Q
+    i : Item
+  axioms
+    [1] isEmpty?(new) = true
+    [2] isEmpty?(add(q, i)) = false
+    -- [3] remove(new) = error          -- forgotten!
+    [4] remove(add(q, i)) = if isEmpty?(q) then new else add(remove(q), i)
+end`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(complete.Check(sps[0]))
+	// Output:
+	// sufficient-completeness of Q: 1 missing case(s)
+	//   MISSING  operation remove: no axiom covers remove(new)
+}

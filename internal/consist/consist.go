@@ -1,0 +1,289 @@
+// Package consist checks an algebraic specification for consistency — the
+// paper's requirement that no two of the "individual statements of fact"
+// contradict one another (§3). Two complementary checks are provided:
+//
+//   - Check computes critical pairs: wherever one axiom's left-hand side
+//     unifies with a (non-variable) subterm of another's, the two ways of
+//     rewriting the overlapped term are compared. A pair whose two sides
+//     do not rewrite to a common term is reported. Joinable critical
+//     pairs together with termination imply confluence (Knuth–Bendix),
+//     hence unique normal forms; an unjoinable pair is either a genuine
+//     contradiction or a benign ambiguity the engine resolves by rule
+//     priority — the report distinguishes the fatal case where one side
+//     is true and the other false.
+//
+//   - CheckGround evaluates every ground boolean observation up to a
+//     depth bound under multiple strategies (innermost, outermost) and
+//     reports any term whose value differs across strategies, plus any
+//     term reducing to both true and false (a direct contradiction).
+package consist
+
+import (
+	"fmt"
+	"strings"
+
+	"algspec/internal/gen"
+	"algspec/internal/rewrite"
+	"algspec/internal/sig"
+	"algspec/internal/spec"
+	"algspec/internal/subst"
+	"algspec/internal/term"
+)
+
+// CriticalPair records one overlap between two axioms.
+type CriticalPair struct {
+	Outer *spec.Axiom
+	Inner *spec.Axiom
+	// Overlap is the superposed term (the instance of Outer.LHS whose
+	// subterm at Path is an instance of Inner.LHS).
+	Overlap *term.Term
+	Path    term.Path
+	// Left and Right are the two one-step contractions of Overlap.
+	Left  *term.Term
+	Right *term.Term
+	// LeftNF and RightNF are their normal forms (nil when normalization
+	// failed, e.g. fuel exhaustion).
+	LeftNF  *term.Term
+	RightNF *term.Term
+	// Joinable reports whether the normal forms coincide.
+	Joinable bool
+	// Fatal reports a direct contradiction: the normal forms are
+	// distinct constructor forms of an observable sort (e.g. true vs
+	// false, or error vs a proper value).
+	Fatal bool
+	Err   error
+}
+
+func (cp *CriticalPair) String() string {
+	status := "joinable"
+	if !cp.Joinable {
+		status = "NOT joinable"
+		if cp.Fatal {
+			status = "CONTRADICTION"
+		}
+	}
+	return fmt.Sprintf("[%s]/[%s] overlap %s at %v: %s -> %s vs %s (%s)",
+		cp.Outer.Label, cp.Inner.Label, cp.Overlap, cp.Path, cp.LeftNF, cp.RightNF, status, status)
+}
+
+// Report is the outcome of the critical-pair analysis.
+type Report struct {
+	Spec  string
+	Pairs []*CriticalPair
+	// Unjoinable and Fatal are the subsets of Pairs that failed.
+	Unjoinable []*CriticalPair
+	Fatal      []*CriticalPair
+}
+
+// OK reports whether no fatal contradiction was found.
+func (r *Report) OK() bool { return len(r.Fatal) == 0 }
+
+// Confluent reports whether every critical pair was joinable, which
+// (together with termination) implies unique normal forms.
+func (r *Report) Confluent() bool { return len(r.Unjoinable) == 0 }
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "consistency of %s: %d critical pair(s), %d unjoinable, %d fatal\n",
+		r.Spec, len(r.Pairs), len(r.Unjoinable), len(r.Fatal))
+	for _, cp := range r.Unjoinable {
+		fmt.Fprintf(&b, "  %s\n", cp)
+	}
+	return b.String()
+}
+
+// Check computes and judges all critical pairs among the spec's axioms
+// (its own and inherited ones, since an inconsistency may straddle
+// layers).
+func Check(sp *spec.Spec) *Report {
+	r := &Report{Spec: sp.Name}
+	sys := rewrite.New(sp)
+	axioms := sp.All
+	for i, outer := range axioms {
+		for j, inner := range axioms {
+			pairs := overlaps(outer, inner, i == j)
+			for _, cp := range pairs {
+				judge(sp, sys, cp)
+				r.Pairs = append(r.Pairs, cp)
+				if !cp.Joinable {
+					r.Unjoinable = append(r.Unjoinable, cp)
+					if cp.Fatal {
+						r.Fatal = append(r.Fatal, cp)
+					}
+				}
+			}
+		}
+	}
+	return r
+}
+
+// overlaps superposes inner's LHS on every non-variable subterm of
+// outer's LHS. For self-overlap (same axiom), the root position is
+// skipped (it is trivially joinable).
+func overlaps(outer, inner *spec.Axiom, same bool) []*CriticalPair {
+	var out []*CriticalPair
+	// Rename the two axioms apart.
+	oLHS := subst.RenameApart(outer.LHS, 1)
+	oRHS := subst.RenameApart(outer.RHS, 1)
+	iLHS := subst.RenameApart(inner.LHS, 2)
+	iRHS := subst.RenameApart(inner.RHS, 2)
+
+	for _, p := range oLHS.Positions() {
+		if same && len(p) == 0 {
+			continue
+		}
+		sub := oLHS.At(p)
+		if sub.Kind != term.Op || sub.IsIf() {
+			continue
+		}
+		if sub.Sym != iLHS.Sym {
+			continue
+		}
+		u, ok := subst.Unify(sub, iLHS)
+		if !ok {
+			continue
+		}
+		overlap := u.Apply(oLHS)
+		left := u.Apply(oRHS)
+		right := overlap.ReplaceAt(p, u.Apply(iRHS))
+		if right == nil {
+			continue
+		}
+		out = append(out, &CriticalPair{
+			Outer:   outer,
+			Inner:   inner,
+			Overlap: overlap,
+			Path:    append(term.Path(nil), p...),
+			Left:    left,
+			Right:   right,
+		})
+	}
+	return out
+}
+
+// judge normalizes both contractions and classifies the pair.
+func judge(sp *spec.Spec, sys *rewrite.System, cp *CriticalPair) {
+	var err error
+	cp.LeftNF, err = sys.Normalize(cp.Left)
+	if err != nil {
+		cp.Err = err
+		return
+	}
+	cp.RightNF, err = sys.Normalize(cp.Right)
+	if err != nil {
+		cp.Err = err
+		return
+	}
+	cp.Joinable = cp.LeftNF.Equal(cp.RightNF)
+	if cp.Joinable {
+		return
+	}
+	// Distinct ground constructor forms are a genuine semantic
+	// disagreement; distinct open terms may just be unreduced symbolic
+	// residue, which rule priority resolves deterministically.
+	lGround := cp.LeftNF.IsGround()
+	rGround := cp.RightNF.IsGround()
+	if lGround && rGround &&
+		rewrite.IsConstructorForm(sp, cp.LeftNF) &&
+		rewrite.IsConstructorForm(sp, cp.RightNF) {
+		cp.Fatal = true
+	}
+}
+
+// GroundConfig configures the ground consistency check.
+type GroundConfig struct {
+	// Depth bounds generated argument terms (default 4).
+	Depth int
+	// MaxTermsPerOp caps instances per boolean observer (default 1500).
+	MaxTermsPerOp int
+	// Gen configures atom universes.
+	Gen gen.Config
+}
+
+// GroundConflict records a ground term with strategy-dependent value.
+type GroundConflict struct {
+	Term      *term.Term
+	Innermost *term.Term
+	Outermost *term.Term
+}
+
+func (g GroundConflict) String() string {
+	return fmt.Sprintf("%s: innermost %s vs outermost %s", g.Term, g.Innermost, g.Outermost)
+}
+
+// GroundReport is the outcome of the ground consistency check.
+type GroundReport struct {
+	Spec      string
+	Checked   int
+	Conflicts []GroundConflict
+	Errors    []error
+}
+
+// OK reports whether no conflicting evaluation was found.
+func (r *GroundReport) OK() bool { return len(r.Conflicts) == 0 }
+
+func (r *GroundReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ground consistency of %s: %d observations checked, %d conflict(s)\n",
+		r.Spec, r.Checked, len(r.Conflicts))
+	for _, c := range r.Conflicts {
+		fmt.Fprintf(&b, "  CONFLICT %s\n", c)
+	}
+	return b.String()
+}
+
+// CheckGround evaluates ground instances of every observer (operation with
+// an observable range: Bool, atom or parameter sorts) under the innermost
+// and outermost strategies and reports disagreements. On a confluent,
+// terminating system the two strategies agree on every ground term; a
+// disagreement pinpoints an inconsistency exercised by actual values.
+func CheckGround(sp *spec.Spec, cfg GroundConfig) *GroundReport {
+	if cfg.Depth == 0 {
+		cfg.Depth = 4
+	}
+	if cfg.MaxTermsPerOp == 0 {
+		cfg.MaxTermsPerOp = 1500
+	}
+	r := &GroundReport{Spec: sp.Name}
+	g := gen.New(sp, cfg.Gen)
+	inner := rewrite.New(sp, rewrite.WithStrategy(rewrite.Innermost))
+	outer := rewrite.New(sp, rewrite.WithStrategy(rewrite.Outermost))
+
+	observable := func(so sig.Sort) bool {
+		return so == sig.BoolSort || sp.Sig.IsAtomSort(so) || sp.Sig.IsParam(so)
+	}
+
+	for _, op := range sp.Sig.Ops() {
+		if op.Native || sp.IsConstructor(op.Name) || !observable(op.Range) {
+			continue
+		}
+		vars := make([]*term.Term, len(op.Domain))
+		for i, d := range op.Domain {
+			vars[i] = term.NewVar(fmt.Sprintf("x%d", i), d)
+		}
+		insts := g.Instantiations(vars, cfg.Depth, cfg.MaxTermsPerOp)
+		for _, instMap := range insts {
+			args := make([]*term.Term, len(vars))
+			for i, v := range vars {
+				args[i] = instMap[v.Sym]
+			}
+			t := term.NewOp(op.Name, op.Range, args...)
+			r.Checked++
+			nfI, errI := inner.Normalize(t)
+			nfO, errO := outer.Normalize(t)
+			if errI != nil || errO != nil {
+				if errI != nil {
+					r.Errors = append(r.Errors, fmt.Errorf("%s: %w", t, errI))
+				}
+				if errO != nil {
+					r.Errors = append(r.Errors, fmt.Errorf("%s: %w", t, errO))
+				}
+				continue
+			}
+			if !nfI.Equal(nfO) {
+				r.Conflicts = append(r.Conflicts, GroundConflict{Term: t, Innermost: nfI, Outermost: nfO})
+			}
+		}
+	}
+	return r
+}

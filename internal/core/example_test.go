@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"fmt"
+
+	"algspec/internal/core"
+	"algspec/internal/speclib"
+)
+
+// Define a specification, load it alongside the library, and compute
+// with it by rewriting — no implementation involved.
+func Example() {
+	env := core.NewEnv()
+	env.MustLoad(speclib.Sources...)
+	env.MustLoad(`
+spec Light
+  uses Bool
+  ops
+    red    : -> Light
+    next   : Light -> Light
+    green? : Light -> Bool
+  vars l : Light
+  axioms
+    [g1] green?(red) = false
+    [g2] green?(next(l)) = not(green?(l))
+end`)
+
+	fmt.Println(env.MustEval("Light", "green?(next(red))"))
+	fmt.Println(env.MustEval("Light", "green?(next(next(red)))"))
+	// Output:
+	// true
+	// false
+}
+
+// The paper's Queue: first in, first out, straight from axioms 1–6.
+func ExampleEnv_Eval() {
+	env := speclib.BaseEnv()
+	nf, err := env.Eval("Queue", "front(remove(add(add(new, 'x), 'y)))")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(nf)
+	// Output: 'y
+}
+
+// Boundary conditions produce the distinguished error value.
+func ExampleEnv_Eval_error() {
+	env := speclib.BaseEnv()
+	nf, _ := env.Eval("Symboltable", "leaveblock(init)")
+	fmt.Println(nf)
+	// Output: error
+}
+
+// Equal compares the normal forms of two ground terms: the working
+// notion of "denote the same abstract value".
+func ExampleEnv_Equal() {
+	env := speclib.BaseEnv()
+	eq, _ := env.Equal("BoundedQueue",
+		"addq(removeq(addq(addq(addq(emptyq,'A),'B),'C)),'D)",
+		"addq(addq(addq(emptyq,'B),'C),'D)")
+	fmt.Println(eq)
+	// Output: true
+}

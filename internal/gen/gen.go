@@ -1,0 +1,357 @@
+// Package gen generates ground terms of a specification: the finite
+// approximations of the algebra's carrier sets that every checker in the
+// framework quantifies over. Values of parameter sorts ("Item is a
+// parameter of the type", §3) and of atom sorts are drawn from a
+// caller-supplied universe of atom spellings.
+//
+// Two modes are provided: exhaustive enumeration of all constructor terms
+// up to a depth bound (used for the "for all legal assignments" proof
+// obligations of §4, made finite), and random sampling (used to extend
+// coverage beyond the exhaustive bound).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"algspec/internal/sig"
+	"algspec/internal/spec"
+	"algspec/internal/term"
+)
+
+// Config configures a Generator.
+type Config struct {
+	// Atoms supplies the value universe for atom and parameter sorts.
+	// A sort missing from the map gets DefaultAtoms.
+	Atoms map[sig.Sort][]string
+	// DefaultAtoms is used for atom/parameter sorts not listed in Atoms.
+	// If empty, {"a","b","c"} is used.
+	DefaultAtoms []string
+	// MaxTerms caps the size of each enumeration result (0 = 100000).
+	MaxTerms int
+	// Seed seeds the random sampler (0 = a fixed default, keeping runs
+	// reproducible).
+	Seed int64
+}
+
+// Generator enumerates and samples ground constructor terms.
+type Generator struct {
+	sp       *spec.Spec
+	cfg      Config
+	rng      *rand.Rand
+	minDepth map[sig.Sort]int
+	memo     map[memoKey][]*term.Term
+}
+
+type memoKey struct {
+	sort  sig.Sort
+	depth int
+}
+
+// New builds a generator for the specification.
+func New(sp *spec.Spec, cfg Config) *Generator {
+	if cfg.MaxTerms == 0 {
+		cfg.MaxTerms = 100000
+	}
+	if len(cfg.DefaultAtoms) == 0 {
+		cfg.DefaultAtoms = []string{"a", "b", "c"}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x6177_7474 // arbitrary fixed default for reproducibility
+	}
+	g := &Generator{
+		sp:   sp,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(seed)),
+		memo: make(map[memoKey][]*term.Term),
+	}
+	g.computeMinDepths()
+	return g
+}
+
+// atomsFor returns the atom universe for a sort.
+func (g *Generator) atomsFor(so sig.Sort) []string {
+	if a, ok := g.cfg.Atoms[so]; ok {
+		return a
+	}
+	return g.cfg.DefaultAtoms
+}
+
+// isLeafSort reports whether values of the sort come from the atom
+// universe rather than from constructors.
+func (g *Generator) isLeafSort(so sig.Sort) bool {
+	return g.sp.Sig.IsAtomSort(so) || g.sp.Sig.IsParam(so)
+}
+
+// computeMinDepths finds, for every sort, the minimum depth of a ground
+// constructor term of that sort (leaf sorts have depth 1).
+func (g *Generator) computeMinDepths() {
+	const inf = 1 << 30
+	g.minDepth = make(map[sig.Sort]int)
+	for _, so := range g.sp.Sig.Sorts() {
+		if g.isLeafSort(so) {
+			g.minDepth[so] = 1
+		} else {
+			g.minDepth[so] = inf
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, so := range g.sp.Sig.Sorts() {
+			for _, op := range g.constructorsOf(so) {
+				d := 1
+				feasible := true
+				for _, ds := range op.Domain {
+					md, ok := g.minDepth[ds]
+					if !ok || md >= inf {
+						feasible = false
+						break
+					}
+					if md+1 > d {
+						d = md + 1
+					}
+				}
+				if feasible && d < g.minDepth[so] {
+					g.minDepth[so] = d
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func (g *Generator) constructorsOf(so sig.Sort) []*sig.Operation {
+	return g.sp.Constructors(so)
+}
+
+// MinDepth returns the minimum ground-term depth for the sort, or false if
+// the sort has no finite ground terms.
+func (g *Generator) MinDepth(so sig.Sort) (int, bool) {
+	d, ok := g.minDepth[so]
+	return d, ok && d < 1<<30
+}
+
+// Enumerate returns every ground constructor term of the sort with depth
+// at most maxDepth, capped at Config.MaxTerms. The order is deterministic.
+func (g *Generator) Enumerate(so sig.Sort, maxDepth int) []*term.Term {
+	out := g.enumerate(so, maxDepth)
+	if len(out) > g.cfg.MaxTerms {
+		out = out[:g.cfg.MaxTerms]
+	}
+	return out
+}
+
+func (g *Generator) enumerate(so sig.Sort, maxDepth int) []*term.Term {
+	if maxDepth <= 0 {
+		return nil
+	}
+	key := memoKey{so, maxDepth}
+	if cached, ok := g.memo[key]; ok {
+		return cached
+	}
+	var out []*term.Term
+	if g.isLeafSort(so) {
+		for _, a := range g.atomsFor(so) {
+			out = append(out, term.NewAtom(a, so))
+		}
+		g.memo[key] = out
+		return out
+	}
+	for _, op := range g.constructorsOf(so) {
+		if len(op.Domain) == 0 {
+			out = append(out, term.NewOp(op.Name, op.Range))
+			continue
+		}
+		argChoices := make([][]*term.Term, len(op.Domain))
+		feasible := true
+		for i, ds := range op.Domain {
+			argChoices[i] = g.enumerate(ds, maxDepth-1)
+			if len(argChoices[i]) == 0 {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		out = appendProducts(out, op, argChoices, g.cfg.MaxTerms+1)
+	}
+	g.memo[key] = out
+	return out
+}
+
+// appendProducts appends op applied to every combination of argument
+// choices, stopping once limit terms have been accumulated.
+func appendProducts(out []*term.Term, op *sig.Operation, choices [][]*term.Term, limit int) []*term.Term {
+	idx := make([]int, len(choices))
+	for {
+		if len(out) >= limit {
+			return out
+		}
+		args := make([]*term.Term, len(choices))
+		for i, c := range choices {
+			args[i] = c[idx[i]]
+		}
+		out = append(out, term.NewOp(op.Name, op.Range, args...))
+		// Odometer increment.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(choices[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return out
+		}
+	}
+}
+
+// Random returns one random ground constructor term of the sort with depth
+// at most maxDepth, or an error if the sort has no ground term that small.
+func (g *Generator) Random(so sig.Sort, maxDepth int) (*term.Term, error) {
+	if g.isLeafSort(so) {
+		atoms := g.atomsFor(so)
+		if len(atoms) == 0 {
+			return nil, fmt.Errorf("gen: no atoms configured for sort %s", so)
+		}
+		return term.NewAtom(atoms[g.rng.Intn(len(atoms))], so), nil
+	}
+	md, ok := g.MinDepth(so)
+	if !ok || md > maxDepth {
+		return nil, fmt.Errorf("gen: sort %s has no ground terms of depth <= %d", so, maxDepth)
+	}
+	var feasible []*sig.Operation
+	for _, op := range g.constructorsOf(so) {
+		fits := true
+		for _, ds := range op.Domain {
+			dmd, dok := g.MinDepth(ds)
+			if !dok || dmd+1 > maxDepth {
+				fits = false
+				break
+			}
+		}
+		if fits {
+			feasible = append(feasible, op)
+		}
+	}
+	if len(feasible) == 0 {
+		return nil, fmt.Errorf("gen: no feasible constructor for sort %s at depth %d", so, maxDepth)
+	}
+	op := feasible[g.rng.Intn(len(feasible))]
+	args := make([]*term.Term, len(op.Domain))
+	for i, ds := range op.Domain {
+		a, err := g.Random(ds, maxDepth-1)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = a
+	}
+	return term.NewOp(op.Name, op.Range, args...), nil
+}
+
+// RandomMany returns n random ground terms of the sort.
+func (g *Generator) RandomMany(so sig.Sort, maxDepth, n int) ([]*term.Term, error) {
+	out := make([]*term.Term, 0, n)
+	for i := 0; i < n; i++ {
+		t, err := g.Random(so, maxDepth)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Instantiations enumerates substitution-like assignments for a list of
+// variables (used to instantiate axiom instances): the result is the cross
+// product of Enumerate for each variable's sort, capped at limit
+// assignments. Each assignment maps variable name to ground term.
+func (g *Generator) Instantiations(vars []*term.Term, maxDepth, limit int) []map[string]*term.Term {
+	if limit <= 0 {
+		limit = g.cfg.MaxTerms
+	}
+	choices := make([][]*term.Term, len(vars))
+	for i, v := range vars {
+		choices[i] = g.Enumerate(v.Sort, maxDepth)
+		if len(choices[i]) == 0 {
+			return nil
+		}
+	}
+	var out []map[string]*term.Term
+	idx := make([]int, len(vars))
+	for {
+		if len(out) >= limit {
+			return out
+		}
+		m := make(map[string]*term.Term, len(vars))
+		for i, v := range vars {
+			m[v.Sym] = choices[i][idx[i]]
+		}
+		out = append(out, m)
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(choices[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return out
+		}
+	}
+}
+
+// ObserverTerms wraps each of the given ground terms of sort so in every
+// observer context of the spec: for each operation taking so, the term is
+// placed in each so-position and the remaining positions are filled with
+// the smallest enumerated terms of their sorts. Used by dynamic
+// completeness checking and by observational equivalence.
+func (g *Generator) ObserverTerms(so sig.Sort, values []*term.Term, fillDepth int) []*term.Term {
+	var out []*term.Term
+	for _, op := range g.sp.Sig.OpsTaking(so) {
+		for pos, ds := range op.Domain {
+			if ds != so {
+				continue
+			}
+			fills := make([][]*term.Term, len(op.Domain))
+			ok := true
+			for i, fs := range op.Domain {
+				if i == pos {
+					continue
+				}
+				choice := g.Enumerate(fs, fillDepth)
+				if len(choice) == 0 {
+					ok = false
+					break
+				}
+				fills[i] = choice
+			}
+			if !ok {
+				continue
+			}
+			for _, v := range values {
+				args := make([]*term.Term, len(op.Domain))
+				feasible := true
+				for i := range op.Domain {
+					if i == pos {
+						args[i] = v
+						continue
+					}
+					if len(fills[i]) == 0 {
+						feasible = false
+						break
+					}
+					args[i] = fills[i][0]
+				}
+				if feasible {
+					out = append(out, term.NewOp(op.Name, op.Range, args...))
+				}
+			}
+		}
+	}
+	return out
+}

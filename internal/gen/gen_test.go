@@ -1,0 +1,237 @@
+package gen_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"algspec/internal/gen"
+	"algspec/internal/sig"
+	"algspec/internal/speclib"
+	"algspec/internal/term"
+)
+
+func gQueue(t *testing.T) *gen.Generator {
+	t.Helper()
+	return gen.New(speclib.BaseEnv().MustGet("Queue"), gen.Config{})
+}
+
+func TestEnumerateCounts(t *testing.T) {
+	g := gQueue(t)
+	// Queue terms: depth 1 -> {new}; depth d -> 1 + 3*|depth d-1|
+	// (three default atoms for Item).
+	counts := []struct{ depth, want int }{
+		{1, 1},  // new
+		{2, 4},  // new + add(new, 'a|'b|'c)
+		{3, 13}, // 1 + 3*4
+		{4, 40}, // 1 + 3*13
+	}
+	for _, c := range counts {
+		got := g.Enumerate("Queue", c.depth)
+		if len(got) != c.want {
+			t.Errorf("depth %d: %d terms, want %d", c.depth, len(got), c.want)
+		}
+		for _, tm := range got {
+			if tm.Depth() > c.depth {
+				t.Errorf("term %s exceeds depth %d", tm, c.depth)
+			}
+			if !tm.IsGround() {
+				t.Errorf("term %s not ground", tm)
+			}
+			if tm.Sort != "Queue" {
+				t.Errorf("term %s has sort %s", tm, tm.Sort)
+			}
+		}
+	}
+	if got := g.Enumerate("Queue", 0); got != nil {
+		t.Errorf("depth 0 = %v", got)
+	}
+}
+
+func TestEnumerateAtomSorts(t *testing.T) {
+	g := gQueue(t)
+	items := g.Enumerate("Item", 3)
+	if len(items) != 3 {
+		t.Errorf("items = %v", items)
+	}
+	for _, tm := range items {
+		if tm.Kind != term.Atom {
+			t.Errorf("item %s not an atom", tm)
+		}
+	}
+	bools := g.Enumerate("Bool", 1)
+	if len(bools) != 2 {
+		t.Errorf("bools = %v", bools)
+	}
+}
+
+func TestEnumerateDeterministic(t *testing.T) {
+	a := gQueue(t).Enumerate("Queue", 4)
+	b := gQueue(t).Enumerate("Queue", 4)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("order differs at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEnumerateNoDuplicates(t *testing.T) {
+	got := gQueue(t).Enumerate("Queue", 4)
+	seen := map[uint64]*term.Term{}
+	for _, tm := range got {
+		h := tm.Hash()
+		if prev, ok := seen[h]; ok && prev.Equal(tm) {
+			t.Fatalf("duplicate term %s", tm)
+		}
+		seen[h] = tm
+	}
+}
+
+func TestCustomAtoms(t *testing.T) {
+	sp := speclib.BaseEnv().MustGet("Queue")
+	g := gen.New(sp, gen.Config{Atoms: map[sig.Sort][]string{"Item": {"only"}}})
+	items := g.Enumerate("Item", 1)
+	if len(items) != 1 || items[0].Sym != "only" {
+		t.Errorf("items = %v", items)
+	}
+	if got := g.Enumerate("Queue", 2); len(got) != 2 { // new, add(new,'only)
+		t.Errorf("queues = %v", got)
+	}
+}
+
+func TestMaxTermsCap(t *testing.T) {
+	sp := speclib.BaseEnv().MustGet("Queue")
+	g := gen.New(sp, gen.Config{MaxTerms: 5})
+	if got := g.Enumerate("Queue", 6); len(got) > 5 {
+		t.Errorf("cap ignored: %d", len(got))
+	}
+}
+
+func TestMinDepth(t *testing.T) {
+	g := gQueue(t)
+	if d, ok := g.MinDepth("Queue"); !ok || d != 1 {
+		t.Errorf("MinDepth(Queue) = %d %v", d, ok)
+	}
+	if d, ok := g.MinDepth("Item"); !ok || d != 1 {
+		t.Errorf("MinDepth(Item) = %d %v", d, ok)
+	}
+	// Stack-of-arrays: a stack needs depth 1 (newstack), an array 1.
+	sp := speclib.BaseEnv().MustGet("SymtabImpl")
+	g2 := gen.New(sp, gen.Config{})
+	if d, ok := g2.MinDepth("Stack"); !ok || d != 1 {
+		t.Errorf("MinDepth(Stack) = %d %v", d, ok)
+	}
+}
+
+func TestRandom(t *testing.T) {
+	g := gQueue(t)
+	for i := 0; i < 200; i++ {
+		tm, err := g.Random("Queue", 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tm.Sort != "Queue" || !tm.IsGround() || tm.Depth() > 5 {
+			t.Fatalf("bad random term %s", tm)
+		}
+	}
+	// Random at impossible depth fails.
+	if _, err := g.Random("Queue", 0); err == nil {
+		t.Error("depth-0 random accepted")
+	}
+	// Deterministic under a fixed seed.
+	sp := speclib.BaseEnv().MustGet("Queue")
+	g1 := gen.New(sp, gen.Config{Seed: 42})
+	g2 := gen.New(sp, gen.Config{Seed: 42})
+	for i := 0; i < 20; i++ {
+		a, _ := g1.Random("Queue", 4)
+		b, _ := g2.Random("Queue", 4)
+		if !a.Equal(b) {
+			t.Fatal("seeded randomness not reproducible")
+		}
+	}
+}
+
+func TestRandomMany(t *testing.T) {
+	g := gQueue(t)
+	ts, err := g.RandomMany("Queue", 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 17 {
+		t.Errorf("len = %d", len(ts))
+	}
+}
+
+func TestInstantiations(t *testing.T) {
+	g := gQueue(t)
+	vars := []*term.Term{
+		term.NewVar("q", "Queue"),
+		term.NewVar("i", "Item"),
+	}
+	insts := g.Instantiations(vars, 2, 0)
+	// 4 queues (depth<=2) x 3 items = 12.
+	if len(insts) != 12 {
+		t.Errorf("instantiations = %d", len(insts))
+	}
+	for _, m := range insts {
+		if m["q"].Sort != "Queue" || m["i"].Sort != "Item" {
+			t.Errorf("bad assignment %v", m)
+		}
+	}
+	// Limit is honoured.
+	if got := g.Instantiations(vars, 2, 5); len(got) != 5 {
+		t.Errorf("limited = %d", len(got))
+	}
+	// No variables -> caller handles; empty vars gives one empty
+	// assignment per the implementation's contract (cross product of
+	// nothing).
+	if got := g.Instantiations(nil, 2, 0); len(got) != 1 {
+		t.Errorf("empty vars = %d", len(got))
+	}
+}
+
+func TestObserverTerms(t *testing.T) {
+	g := gQueue(t)
+	vals := g.Enumerate("Queue", 2)
+	obs := g.ObserverTerms("Queue", vals, 2)
+	if len(obs) == 0 {
+		t.Fatal("no observer terms")
+	}
+	heads := map[string]bool{}
+	for _, tm := range obs {
+		heads[tm.Sym] = true
+		if tm.At(term.Path{0}) == nil {
+			t.Errorf("observer %s has no argument", tm)
+		}
+	}
+	for _, want := range []string{"front", "remove", "isEmpty?", "add"} {
+		if !heads[want] {
+			t.Errorf("observer %s missing (heads=%v)", want, heads)
+		}
+	}
+}
+
+// Property: enumeration at depth d is a prefix-closed subset of depth
+// d+1 (same terms all appear).
+func TestQuickEnumerateMonotone(t *testing.T) {
+	g := gQueue(t)
+	f := func(d uint8) bool {
+		depth := int(d%3) + 1
+		small := g.Enumerate("Queue", depth)
+		bigSet := map[uint64]bool{}
+		for _, tm := range g.Enumerate("Queue", depth+1) {
+			bigSet[tm.Hash()] = true
+		}
+		for _, tm := range small {
+			if !bigSet[tm.Hash()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

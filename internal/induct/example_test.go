@@ -1,0 +1,28 @@
+package induct_test
+
+import (
+	"fmt"
+
+	"algspec/internal/induct"
+	"algspec/internal/sig"
+	"algspec/internal/speclib"
+)
+
+// Prove that addition's right identity follows from the Nat axioms —
+// addN recurses on its first argument, so the fact needs induction.
+func ExampleProver_Prove() {
+	p := induct.New(speclib.BaseEnv().MustGet("Nat"))
+	eq, err := p.ParseEquation("addN(n, zero)", "n", map[string]sig.Sort{"n": "Nat"})
+	if err != nil {
+		panic(err)
+	}
+	proof, err := p.Prove(eq, "n")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(proof.Proved())
+	fmt.Println(len(proof.Cases))
+	// Output:
+	// true
+	// 2
+}

@@ -1,0 +1,203 @@
+// Package lang implements the lexer and parser of the specification
+// language described in package ast. Parse turns source text into an
+// *ast.File; ParseExpr parses a single expression (used by the CLI's eval
+// subcommand and by tests).
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Error is a positioned syntax error.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// ErrorList collects all syntax errors found in one parse.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	default:
+		var b strings.Builder
+		for i, e := range l {
+			if i > 0 {
+				b.WriteByte('\n')
+			}
+			b.WriteString(e.Error())
+		}
+		return b.String()
+	}
+}
+
+// lexer turns source text into tokens. It is a straightforward scanner
+// with one token of lookahead provided by the parser.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	errs ErrorList
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) errorf(line, col int, format string, args ...any) {
+	lx.errs = append(lx.errs, &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (lx *lexer) peekRune() (rune, int) {
+	if lx.pos >= len(lx.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(lx.src[lx.pos:])
+}
+
+func (lx *lexer) advance(r rune, size int) {
+	lx.pos += size
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+}
+
+// isIdentStart/isIdentPart admit the paper's operation-name characters:
+// IS_EMPTY?, IS.NEWSTACK?, enterblock'.
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' || r == '?' || r == '\''
+}
+
+// next returns the next token, skipping whitespace and comments.
+func (lx *lexer) next() token {
+	for {
+		r, size := lx.peekRune()
+		if size == 0 {
+			return token{kind: tokEOF, line: lx.line, col: lx.col}
+		}
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			lx.advance(r, size)
+			continue
+		case r == '-':
+			// Either a comment "--" or the arrow "->".
+			if strings.HasPrefix(lx.src[lx.pos:], "--") {
+				for {
+					r2, s2 := lx.peekRune()
+					if s2 == 0 || r2 == '\n' {
+						break
+					}
+					lx.advance(r2, s2)
+				}
+				continue
+			}
+			if strings.HasPrefix(lx.src[lx.pos:], "->") {
+				t := token{kind: tokArrow, text: "->", line: lx.line, col: lx.col}
+				lx.advance('-', 1)
+				lx.advance('>', 1)
+				return t
+			}
+			t := token{line: lx.line, col: lx.col}
+			lx.errorf(lx.line, lx.col, "unexpected character %q (expected '--' comment or '->')", r)
+			lx.advance(r, size)
+			return lx.nextAfterError(t)
+		case r == '(':
+			return lx.single(tokLParen, r, size)
+		case r == ')':
+			return lx.single(tokRParen, r, size)
+		case r == ',':
+			return lx.single(tokComma, r, size)
+		case r == ':':
+			return lx.single(tokColon, r, size)
+		case r == '=':
+			return lx.single(tokEquals, r, size)
+		case r == '[':
+			return lx.single(tokLBrack, r, size)
+		case r == ']':
+			return lx.single(tokRBrack, r, size)
+		case r == '\'':
+			return lx.atom()
+		case isIdentStart(r) || unicode.IsDigit(r):
+			// Digit-initial tokens are legal identifiers: the language
+			// has no numeric literals, and the paper numbers its axioms
+			// ("[1] leaveblock(init) = error").
+			return lx.ident()
+		default:
+			lx.errorf(lx.line, lx.col, "unexpected character %q", r)
+			lx.advance(r, size)
+			continue
+		}
+	}
+}
+
+func (lx *lexer) nextAfterError(t token) token {
+	return lx.next()
+}
+
+func (lx *lexer) single(kind tokKind, r rune, size int) token {
+	t := token{kind: kind, text: string(r), line: lx.line, col: lx.col}
+	lx.advance(r, size)
+	return t
+}
+
+func (lx *lexer) ident() token {
+	start := lx.pos
+	line, col := lx.line, lx.col
+	for {
+		r, size := lx.peekRune()
+		if size == 0 || !isIdentPart(r) {
+			break
+		}
+		lx.advance(r, size)
+	}
+	text := lx.src[start:lx.pos]
+	if kind, ok := keywords[text]; ok {
+		return token{kind: kind, text: text, line: line, col: col}
+	}
+	return token{kind: tokIdent, text: text, line: line, col: col}
+}
+
+// atom scans 'spelling. The quote must be followed immediately by an
+// identifier-start character; the spelling uses identifier characters
+// minus the quote (so 'x:Sort annotations tokenize cleanly).
+func (lx *lexer) atom() token {
+	line, col := lx.line, lx.col
+	lx.advance('\'', 1)
+	r, size := lx.peekRune()
+	if size == 0 || !(isIdentStart(r) || unicode.IsDigit(r)) {
+		lx.errorf(line, col, "atom literal requires a spelling after ' (as in 'x)")
+		return token{kind: tokAtom, text: "", line: line, col: col}
+	}
+	start := lx.pos
+	for {
+		r, size = lx.peekRune()
+		if size == 0 {
+			break
+		}
+		if !(unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.') {
+			break
+		}
+		lx.advance(r, size)
+	}
+	return token{kind: tokAtom, text: lx.src[start:lx.pos], line: line, col: col}
+}

@@ -1,0 +1,311 @@
+package lang
+
+import (
+	"fmt"
+
+	"algspec/internal/ast"
+)
+
+// Parse parses source text into a file of specifications. On failure it
+// returns all syntax errors found as an ErrorList.
+func Parse(src string) (*ast.File, error) {
+	p := newParser(src)
+	file := p.file()
+	if len(p.errs) > 0 {
+		return nil, p.errs
+	}
+	return file, nil
+}
+
+// ParseExpr parses a single expression, e.g. "front(add(new, 'x))".
+// Trailing input is an error.
+func ParseExpr(src string) (ast.Expr, error) {
+	p := newParser(src)
+	e := p.expr()
+	if p.tok.kind != tokEOF {
+		p.errorf("unexpected %s after expression", p.tok)
+	}
+	if len(p.errs) > 0 {
+		return nil, p.errs
+	}
+	return e, nil
+}
+
+type parser struct {
+	lx   *lexer
+	tok  token
+	errs ErrorList
+}
+
+func newParser(src string) *parser {
+	p := &parser{lx: newLexer(src)}
+	p.tok = p.lx.next()
+	return p
+}
+
+func (p *parser) pos() ast.Pos { return ast.Pos{Line: p.tok.line, Col: p.tok.col} }
+
+func (p *parser) next() {
+	p.tok = p.lx.next()
+	// Adopt any lexer errors as they are produced.
+	p.errs = append(p.errs, p.lx.errs...)
+	p.lx.errs = nil
+}
+
+func (p *parser) errorf(format string, args ...any) {
+	p.errs = append(p.errs, &Error{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)})
+}
+
+// expect consumes a token of the given kind, reporting an error otherwise.
+func (p *parser) expect(kind tokKind) token {
+	t := p.tok
+	if t.kind != kind {
+		p.errorf("expected %s, found %s", kind, t)
+		// Do not consume: let the caller's recovery skip.
+		return t
+	}
+	p.next()
+	return t
+}
+
+// accept consumes a token of the given kind if present.
+func (p *parser) accept(kind tokKind) (token, bool) {
+	if p.tok.kind == kind {
+		t := p.tok
+		p.next()
+		return t, true
+	}
+	return token{}, false
+}
+
+// file parses a sequence of specs until EOF.
+func (p *parser) file() *ast.File {
+	f := &ast.File{}
+	for p.tok.kind != tokEOF {
+		if p.tok.kind != tokSpec {
+			p.errorf("expected 'spec', found %s", p.tok)
+			p.skipToSpecOrEOF()
+			continue
+		}
+		if sp := p.spec(); sp != nil {
+			f.Specs = append(f.Specs, sp)
+		}
+	}
+	return f
+}
+
+func (p *parser) skipToSpecOrEOF() {
+	for p.tok.kind != tokEOF && p.tok.kind != tokSpec {
+		p.next()
+	}
+}
+
+// spec parses "spec Name <sections> end".
+func (p *parser) spec() *ast.Spec {
+	pos := p.pos()
+	p.expect(tokSpec)
+	name := p.expect(tokIdent)
+	sp := &ast.Spec{Name: name.text, Pos: pos}
+	for {
+		switch p.tok.kind {
+		case tokUses:
+			p.next()
+			p.useList(sp)
+		case tokParam:
+			p.next()
+			p.sortList(&sp.Params)
+		case tokAtoms:
+			p.next()
+			p.sortList(&sp.Atoms)
+		case tokSorts:
+			p.next()
+			p.sortList(&sp.Sorts)
+		case tokOps:
+			p.next()
+			p.opsSection(sp)
+		case tokVars:
+			p.next()
+			p.varsSection(sp)
+		case tokAxioms:
+			p.next()
+			p.axiomsSection(sp)
+		case tokEnd:
+			p.next()
+			return sp
+		case tokEOF:
+			p.errorf("unexpected end of input: spec %s is missing 'end'", sp.Name)
+			return sp
+		default:
+			p.errorf("unexpected %s in spec %s", p.tok, sp.Name)
+			p.next()
+		}
+	}
+}
+
+func (p *parser) useList(sp *ast.Spec) {
+	for {
+		pos := p.pos()
+		t := p.expect(tokIdent)
+		if t.kind != tokIdent {
+			p.next()
+			return
+		}
+		sp.Uses = append(sp.Uses, ast.Use{Name: t.text, Pos: pos})
+		if _, ok := p.accept(tokComma); !ok {
+			return
+		}
+	}
+}
+
+func (p *parser) sortList(out *[]ast.SortDecl) {
+	for {
+		pos := p.pos()
+		t := p.expect(tokIdent)
+		if t.kind != tokIdent {
+			p.next()
+			return
+		}
+		*out = append(*out, ast.SortDecl{Name: t.text, Pos: pos})
+		if _, ok := p.accept(tokComma); !ok {
+			return
+		}
+	}
+}
+
+// opsSection parses operation declarations until a section keyword or end:
+//
+//	name : Sort, Sort -> Sort
+//	name : -> Sort
+//	native name : Sort, Sort -> Bool
+func (p *parser) opsSection(sp *ast.Spec) {
+	for {
+		native := false
+		if _, ok := p.accept(tokNative); ok {
+			native = true
+		}
+		if p.tok.kind != tokIdent {
+			if native {
+				p.errorf("expected operation name after 'native', found %s", p.tok)
+			}
+			return
+		}
+		pos := p.pos()
+		name := p.tok.text
+		p.next()
+		p.expect(tokColon)
+		decl := &ast.OpDecl{Name: name, Pos: pos, Native: native}
+		if p.tok.kind == tokIdent {
+			for {
+				d := p.expect(tokIdent)
+				decl.Domain = append(decl.Domain, d.text)
+				if _, ok := p.accept(tokComma); !ok {
+					break
+				}
+			}
+		}
+		p.expect(tokArrow)
+		rng := p.expect(tokIdent)
+		decl.Range = rng.text
+		sp.Ops = append(sp.Ops, decl)
+	}
+}
+
+// varsSection parses variable declarations: "q, r : Queue".
+func (p *parser) varsSection(sp *ast.Spec) {
+	for p.tok.kind == tokIdent {
+		pos := p.pos()
+		decl := &ast.VarDecl{Pos: pos}
+		for {
+			n := p.expect(tokIdent)
+			decl.Names = append(decl.Names, n.text)
+			if _, ok := p.accept(tokComma); !ok {
+				break
+			}
+		}
+		p.expect(tokColon)
+		s := p.expect(tokIdent)
+		decl.Sort = s.text
+		sp.Vars = append(sp.Vars, decl)
+	}
+}
+
+// axiomsSection parses axioms until a section keyword or 'end':
+//
+//	[label] lhs = rhs
+func (p *parser) axiomsSection(sp *ast.Spec) {
+	for {
+		switch p.tok.kind {
+		case tokLBrack, tokIdent, tokIf, tokError, tokAtom:
+			// An axiom can start with any expression form, though sema
+			// will insist the LHS is an operation application.
+		default:
+			return
+		}
+		pos := p.pos()
+		ax := &ast.Axiom{Pos: pos}
+		if _, ok := p.accept(tokLBrack); ok {
+			lbl := p.expect(tokIdent)
+			ax.Label = lbl.text
+			p.expect(tokRBrack)
+		}
+		ax.LHS = p.expr()
+		p.expect(tokEquals)
+		ax.RHS = p.expr()
+		sp.Axioms = append(sp.Axioms, ax)
+		if len(p.errs) > 0 && p.tok.kind == tokEOF {
+			return
+		}
+	}
+}
+
+// expr parses one expression.
+func (p *parser) expr() ast.Expr {
+	pos := p.pos()
+	switch p.tok.kind {
+	case tokIf:
+		p.next()
+		cond := p.expr()
+		p.expect(tokThen)
+		then := p.expr()
+		p.expect(tokElse)
+		els := p.expr()
+		return &ast.If{Cond: cond, Then: then, Else: els, Pos: pos}
+	case tokError:
+		p.next()
+		return &ast.ErrorLit{Pos: pos}
+	case tokAtom:
+		spelling := p.tok.text
+		p.next()
+		lit := &ast.AtomLit{Spelling: spelling, Pos: pos}
+		// Optional sort annotation 'x:Sort.
+		if p.tok.kind == tokColon {
+			p.next()
+			s := p.expect(tokIdent)
+			lit.SortAnno = s.text
+		}
+		return lit
+	case tokIdent:
+		name := p.tok.text
+		p.next()
+		call := &ast.Call{Name: name, Pos: pos}
+		if p.tok.kind == tokLParen {
+			call.Parens = true
+			p.next()
+			if p.tok.kind != tokRParen {
+				for {
+					call.Args = append(call.Args, p.expr())
+					if _, ok := p.accept(tokComma); !ok {
+						break
+					}
+				}
+			}
+			p.expect(tokRParen)
+		}
+		return call
+	default:
+		p.errorf("expected expression, found %s", p.tok)
+		// Synthesize a placeholder so parsing can continue.
+		p.next()
+		return &ast.Call{Name: "<error>", Pos: pos}
+	}
+}

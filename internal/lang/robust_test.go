@@ -1,0 +1,97 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// The parser must never panic, whatever the input: it either produces a
+// file or an error list.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		f, err := Parse(src)
+		// One of the two outcomes, never both nil.
+		return (f != nil) || (err != nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Same for expression parsing.
+func TestQuickParseExprNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		e, err := ParseExpr(src)
+		return (e != nil) || (err != nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Mutation robustness: random token-level corruptions of a real spec
+// never panic and never loop (the test completing is the assertion).
+func TestMutatedSpecRobustness(t *testing.T) {
+	base := `
+spec Queue
+  uses Bool
+  param Item
+  ops
+    new : -> Queue
+    add : Queue, Item -> Queue
+    front : Queue -> Item
+  vars
+    q : Queue
+    i : Item
+  axioms
+    [1] front(add(q, i)) = i
+end
+`
+	rng := rand.New(rand.NewSource(42))
+	pieces := strings.Fields(base)
+	for trial := 0; trial < 300; trial++ {
+		mutated := make([]string, len(pieces))
+		copy(mutated, pieces)
+		switch rng.Intn(3) {
+		case 0: // delete a token
+			i := rng.Intn(len(mutated))
+			mutated = append(mutated[:i], mutated[i+1:]...)
+		case 1: // duplicate a token
+			i := rng.Intn(len(mutated))
+			mutated = append(mutated[:i], append([]string{mutated[i]}, mutated[i:]...)...)
+		default: // swap two tokens
+			i, j := rng.Intn(len(mutated)), rng.Intn(len(mutated))
+			mutated[i], mutated[j] = mutated[j], mutated[i]
+		}
+		src := strings.Join(mutated, " ")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			Parse(src)
+		}()
+	}
+}
+
+// Deeply nested expressions neither panic nor take pathological time.
+func TestDeepNesting(t *testing.T) {
+	depth := 2000
+	src := strings.Repeat("f(", depth) + "x" + strings.Repeat(")", depth)
+	if _, err := ParseExpr(src); err != nil {
+		t.Fatalf("deep nesting rejected: %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+package lang
+
+import "fmt"
+
+// tokKind enumerates the token kinds of the specification language.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokAtom   // 'x
+	tokLParen // (
+	tokRParen // )
+	tokComma  // ,
+	tokColon  // :
+	tokArrow  // ->
+	tokEquals // =
+	tokLBrack // [
+	tokRBrack // ]
+
+	// Keywords.
+	tokSpec
+	tokEnd
+	tokUses
+	tokParam
+	tokAtoms
+	tokSorts
+	tokOps
+	tokVars
+	tokAxioms
+	tokIf
+	tokThen
+	tokElse
+	tokError
+	tokNative
+)
+
+var kindNames = map[tokKind]string{
+	tokEOF:    "end of input",
+	tokIdent:  "identifier",
+	tokAtom:   "atom literal",
+	tokLParen: "'('",
+	tokRParen: "')'",
+	tokComma:  "','",
+	tokColon:  "':'",
+	tokArrow:  "'->'",
+	tokEquals: "'='",
+	tokLBrack: "'['",
+	tokRBrack: "']'",
+	tokSpec:   "'spec'",
+	tokEnd:    "'end'",
+	tokUses:   "'uses'",
+	tokParam:  "'param'",
+	tokAtoms:  "'atoms'",
+	tokSorts:  "'sorts'",
+	tokOps:    "'ops'",
+	tokVars:   "'vars'",
+	tokAxioms: "'axioms'",
+	tokIf:     "'if'",
+	tokThen:   "'then'",
+	tokElse:   "'else'",
+	tokError:  "'error'",
+	tokNative: "'native'",
+}
+
+func (k tokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tokKind(%d)", int(k))
+}
+
+var keywords = map[string]tokKind{
+	"spec":   tokSpec,
+	"end":    tokEnd,
+	"uses":   tokUses,
+	"param":  tokParam,
+	"params": tokParam,
+	"atoms":  tokAtoms,
+	"sorts":  tokSorts,
+	"sort":   tokSorts,
+	"ops":    tokOps,
+	"vars":   tokVars,
+	"var":    tokVars,
+	"axioms": tokAxioms,
+	"if":     tokIf,
+	"then":   tokThen,
+	"else":   tokElse,
+	"error":  tokError,
+	"native": tokNative,
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	case tokAtom:
+		return fmt.Sprintf("atom '%s", t.text)
+	default:
+		return t.kind.String()
+	}
+}

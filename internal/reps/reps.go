@@ -1,0 +1,103 @@
+// Package reps packages the canonical representation proofs of the
+// paper as ready-made homo.Representation values:
+//
+//   - SymtabAsStack: the paper's §4 development — Symboltable represented
+//     as a Stack of Arrays, with the paper's abstraction function Φ and,
+//     optionally, Assumption 1 ("for any term ADD'(symtab, id, attr),
+//     IS_NEWSTACK?(symtab) = false") for conditional correctness.
+//
+//   - SymtabAsList: the alternative flat-list representation, which
+//     needs no assumption.
+//
+// Both are used by the CLI's verify subcommand, the test suite and the
+// E2 benchmarks.
+package reps
+
+import (
+	"algspec/internal/core"
+	"algspec/internal/homo"
+	"algspec/internal/sig"
+)
+
+// SymtabOpMap maps the abstract Symboltable operations to their primed
+// interpretations in spec SymtabImpl.
+var SymtabOpMap = map[string]string{
+	"init":       "init'",
+	"enterblock": "enterblock'",
+	"leaveblock": "leaveblock'",
+	"add":        "add'",
+	"isInblock?": "isInblock'?",
+	"retrieve":   "retrieve'",
+}
+
+// SymtabAsStack builds the verifier for the paper's stack-of-arrays
+// representation. withAssumption selects whether Assumption 1 is in
+// force; without it, axioms 6 and 9 (the ones whose left-hand sides
+// contain ADD) acquire counterexamples on un-entered stacks, exactly the
+// situation the paper's discussion of conditional correctness describes.
+func SymtabAsStack(env *core.Env, withAssumption bool) (*homo.Verifier, error) {
+	rep := homo.Representation{
+		Abstract: env.MustGet("Symboltable"),
+		Concrete: env.MustGet("SymtabImpl"),
+		AbsSort:  "Symboltable",
+		RepSort:  "Stack",
+		OpMap:    SymtabOpMap,
+		// The paper's Φ: (a) Φ(error)=error is the engine's strictness;
+		// (b) Φ(NEWSTACK) = error; (c) Φ(PUSH(stk, EMPTY)) = INIT or
+		// ENTERBLOCK(Φ(stk)); (d) Φ(PUSH(stk, ASSIGN(arr, id, attrs)))
+		// = ADD(Φ(PUSH(stk, arr)), id, attrs).
+		PhiRules: [][2]string{
+			{"phi(newstack)", "error"},
+			{"phi(push(stk, empty))", "if isNewstack?(stk) then init else enterblock(phi(stk))"},
+			{"phi(push(stk, assign(arr, id, attrs)))", "add(phi(push(stk, arr)), id, attrs)"},
+		},
+		PhiVars: map[string]sig.Sort{
+			"stk":   "Stack",
+			"arr":   "Array",
+			"id":    "Identifier",
+			"attrs": "Attrs",
+		},
+	}
+	if withAssumption {
+		rep.Assumptions = []homo.Assumption{{
+			Name:     "Assumption 1",
+			Op:       "add'",
+			ArgIndex: 0,
+			Pred:     "isNewstack?(x)",
+			Want:     "false",
+		}}
+	}
+	return homo.New(rep)
+}
+
+// SymtabAsList builds the verifier for the flat-list representation
+// (spec ListSymtabImpl over sort SymList). Its Φ is a plain homomorphism
+// on the three constructors, and no assumption is needed: the
+// representation is unconditionally correct.
+func SymtabAsList(env *core.Env) (*homo.Verifier, error) {
+	rep := homo.Representation{
+		Abstract: env.MustGet("Symboltable"),
+		Concrete: env.MustGet("ListSymtabImpl"),
+		AbsSort:  "Symboltable",
+		RepSort:  "SymList",
+		OpMap: map[string]string{
+			"init":       "init2",
+			"enterblock": "enterblock2",
+			"leaveblock": "leaveblock2",
+			"add":        "add2",
+			"isInblock?": "isInblock2?",
+			"retrieve":   "retrieve2",
+		},
+		PhiRules: [][2]string{
+			{"phi(nilst)", "init"},
+			{"phi(mark(l))", "enterblock(phi(l))"},
+			{"phi(bind(l, id, attrs))", "add(phi(l), id, attrs)"},
+		},
+		PhiVars: map[string]sig.Sort{
+			"l":     "SymList",
+			"id":    "Identifier",
+			"attrs": "Attrs",
+		},
+	}
+	return homo.New(rep)
+}

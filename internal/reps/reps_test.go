@@ -1,0 +1,70 @@
+package reps_test
+
+import (
+	"testing"
+
+	"algspec/internal/homo"
+	"algspec/internal/reps"
+	"algspec/internal/speclib"
+)
+
+func TestSymtabAsStackBuilds(t *testing.T) {
+	env := speclib.BaseEnv()
+	v, err := reps.SymtabAsStack(env, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := v.Merged()
+	if _, ok := merged.Sig.Op(homo.PhiOpName); !ok {
+		t.Error("phi not declared in merged signature")
+	}
+	// The merged spec carries both vocabularies.
+	for _, op := range []string{"init", "init'", "push", "retrieve", "retrieve'"} {
+		if _, ok := merged.Sig.Op(op); !ok {
+			t.Errorf("merged signature missing %s", op)
+		}
+	}
+	// Bool axioms are not duplicated despite the diamond.
+	count := 0
+	for _, a := range merged.All {
+		if a.Owner == "Bool" {
+			count++
+		}
+	}
+	if count != 6 {
+		t.Errorf("Bool axioms in merged spec = %d", count)
+	}
+}
+
+func TestSymtabAsListBuilds(t *testing.T) {
+	env := speclib.BaseEnv()
+	v, err := reps.SymtabAsList(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Merged().Name != "SymboltableAsListSymtabImpl" {
+		t.Errorf("name = %s", v.Merged().Name)
+	}
+}
+
+// A shallow end-to-end run of both verifiers (the deep runs live in
+// package homo's tests and the benchmarks).
+func TestBothVerifyShallow(t *testing.T) {
+	env := speclib.BaseEnv()
+	for _, build := range []func() (*homo.Verifier, error){
+		func() (*homo.Verifier, error) { return reps.SymtabAsStack(env, true) },
+		func() (*homo.Verifier, error) { return reps.SymtabAsList(env) },
+	} {
+		v, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := v.Verify(homo.Config{Depth: 3, MaxInstancesPerAxiom: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Errorf("%s failed:\n%s", v.Merged().Name, rep)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package rewrite_test
+
+import (
+	"fmt"
+	"testing"
+
+	"algspec/internal/rewrite"
+	"algspec/internal/speclib"
+	"algspec/internal/term"
+)
+
+func BenchmarkNormalizeQueueFront(b *testing.B) {
+	env := speclib.BaseEnv()
+	sp := env.MustGet("Queue")
+	for _, depth := range []int{4, 16, 64} {
+		state := term.NewOp("new", "Queue")
+		for i := 0; i < depth; i++ {
+			state = term.NewOp("add", "Queue", state, term.NewAtom(fmt.Sprintf("x%d", i%5), "Item"))
+		}
+		front := term.NewOp("front", "Item", state)
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			sys := rewrite.New(sp)
+			for i := 0; i < b.N; i++ {
+				sys.MustNormalize(front)
+			}
+		})
+	}
+}
+
+func BenchmarkNormalizeSymboltableRetrieve(b *testing.B) {
+	env := speclib.BaseEnv()
+	sp := env.MustGet("Symboltable")
+	state := term.NewOp("init", "Symboltable")
+	for i := 0; i < 24; i++ {
+		if i%6 == 0 {
+			state = term.NewOp("enterblock", "Symboltable", state)
+			continue
+		}
+		state = term.NewOp("add", "Symboltable", state,
+			term.NewAtom(fmt.Sprintf("v%d", i%9), "Identifier"),
+			term.NewAtom(fmt.Sprintf("a%d", i), "Attrs"))
+	}
+	lookup := term.NewOp("retrieve", "Attrs", state, term.NewAtom("v1", "Identifier"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	sys := rewrite.New(sp)
+	for i := 0; i < b.N; i++ {
+		sys.MustNormalize(lookup)
+	}
+}
+
+func BenchmarkNormalizeNatArithmetic(b *testing.B) {
+	env := speclib.BaseEnv()
+	sp := env.MustGet("Nat")
+	n := term.NewOp("zero", "Nat")
+	for i := 0; i < 32; i++ {
+		n = term.NewOp("succ", "Nat", n)
+	}
+	sum := term.NewOp("addN", "Nat", n, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sys := rewrite.New(sp)
+	for i := 0; i < b.N; i++ {
+		sys.MustNormalize(sum)
+	}
+}
+
+func BenchmarkCompileSystem(b *testing.B) {
+	env := speclib.BaseEnv()
+	sp := env.MustGet("SymtabImpl") // the largest flattened rule set
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rewrite.New(sp)
+	}
+}

@@ -1,0 +1,554 @@
+// Package rewrite implements the operational reading of an algebraic
+// specification: each axiom lhs = rhs is used as a rewrite rule from left
+// to right, giving the "symbolic interpretation" of the algebra that §5 of
+// the paper proposes as a stand-in for an implementation.
+//
+// The engine implements the paper's fixed semantics for the two built-in
+// forms:
+//
+//   - error is strict: any operation applied to an argument list
+//     containing error yields error (f(x1,...,error,...,xn) = error);
+//   - if-then-else is lazy in its branches: the condition is normalized
+//     first, then exactly one branch; an error condition yields error.
+//
+// Operations declared native are evaluated by Go functions registered with
+// the engine (atom equality and atom hashing), covering the paper's
+// independently defined IS_SAME? and HASH operations on type Identifier.
+package rewrite
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"algspec/internal/spec"
+	"algspec/internal/subst"
+	"algspec/internal/term"
+)
+
+// Strategy selects the redex-selection order.
+type Strategy int
+
+const (
+	// Innermost normalizes arguments before trying rules at the root
+	// (call-by-value). It is the default and by far the faster strategy
+	// on the paper's specs.
+	Innermost Strategy = iota
+	// Outermost tries rules at the root first and only then descends.
+	// It exists to cross-check confluence in the consistency checker.
+	Outermost
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Innermost:
+		return "innermost"
+	case Outermost:
+		return "outermost"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Rule is one oriented rewrite rule.
+type Rule struct {
+	Label string
+	Owner string
+	LHS   *term.Term
+	RHS   *term.Term
+}
+
+func (r Rule) String() string { return fmt.Sprintf("[%s] %s -> %s", r.Label, r.LHS, r.RHS) }
+
+// NativeFunc evaluates a native operation on normalized arguments. It
+// returns the result and true, or nil and false when the operation does
+// not apply (e.g. arguments are not yet atoms), in which case the term is
+// left as is (a normal form).
+type NativeFunc func(args []*term.Term) (*term.Term, bool)
+
+// ErrFuel is returned (wrapped) when normalization exceeds the step limit,
+// which in practice means a non-terminating axiom set.
+type ErrFuel struct {
+	Steps int
+	Last  *term.Term
+}
+
+func (e *ErrFuel) Error() string {
+	return fmt.Sprintf("rewrite: no normal form after %d steps (stuck near %s); the axiom set is likely non-terminating", e.Steps, clip(e.Last))
+}
+
+func clip(t *term.Term) string {
+	s := t.String()
+	if len(s) > 120 {
+		return s[:117] + "..."
+	}
+	return s
+}
+
+// TraceStep records one rule application for the CLI's trace subcommand.
+type TraceStep struct {
+	Rule   Rule
+	Before *term.Term
+	After  *term.Term
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithStrategy selects the evaluation strategy.
+func WithStrategy(s Strategy) Option { return func(sys *System) { sys.strategy = s } }
+
+// WithMaxSteps sets the fuel limit (default 1<<20 rule applications).
+func WithMaxSteps(n int) Option { return func(sys *System) { sys.maxSteps = n } }
+
+// WithTrace installs a step listener. Tracing has a cost; leave nil in
+// benchmarks.
+func WithTrace(f func(TraceStep)) Option { return func(sys *System) { sys.trace = f } }
+
+// WithNative registers a native implementation for an operation name,
+// overriding the defaults.
+func WithNative(op string, f NativeFunc) Option {
+	return func(sys *System) { sys.native[op] = f }
+}
+
+// WithRuleOrder disables head-symbol indexing, forcing a linear scan over
+// all rules at every redex. Exists only for the ablation benchmark.
+func WithoutRuleIndex() Option { return func(sys *System) { sys.noIndex = true } }
+
+// WithMemo enables memoization of normal forms for ground subterms.
+func WithMemo() Option { return func(sys *System) { sys.memo = make(map[uint64]*term.Term) } }
+
+// System is a compiled rewrite system for one specification.
+type System struct {
+	sp       *spec.Spec
+	rules    []Rule
+	index    map[string][]int // head symbol -> rule indices, in priority order
+	native   map[string]NativeFunc
+	strategy Strategy
+	maxSteps int
+	steps    int
+	trace    func(TraceStep)
+	noIndex  bool
+	memo     map[uint64]*term.Term
+	// active and budget implement the per-call fuel limit: the budget is
+	// set when an outermost Normalize begins and left alone by the
+	// nested Normalize calls the conditional's lazy semantics makes
+	// (otherwise each nested call would refresh the fuel and a
+	// divergence threaded through conditionals could run forever).
+	active bool
+	budget int
+}
+
+// New compiles a specification into a rewrite system. Axioms inherited
+// from used specifications participate with lower priority than the
+// spec's own axioms (they come first in spec.All, and rule order within a
+// head symbol follows spec.All order, so earlier axioms win — matching
+// the paper's practice of listing the general case after the specific).
+func New(sp *spec.Spec, opts ...Option) *System {
+	sys := &System{
+		sp:       sp,
+		native:   make(map[string]NativeFunc),
+		maxSteps: 1 << 20,
+	}
+	for _, a := range sp.All {
+		sys.rules = append(sys.rules, Rule{Label: a.Label, Owner: a.Owner, LHS: a.LHS, RHS: a.RHS})
+	}
+	// Default natives: same?/isSame?-style equality and hash on atoms.
+	for _, op := range sp.Sig.Ops() {
+		if !op.Native {
+			continue
+		}
+		if f, ok := defaultNative(op.Name); ok {
+			sys.native[op.Name] = f
+		}
+	}
+	for _, o := range opts {
+		o(sys)
+	}
+	sys.index = make(map[string][]int)
+	for i, r := range sys.rules {
+		sys.index[r.LHS.Sym] = append(sys.index[r.LHS.Sym], i)
+	}
+	return sys
+}
+
+// defaultNative supplies engine-level semantics for the conventional
+// native operation names. Any binary native whose name contains "same" or
+// "eq" compares atoms; any unary native whose name contains "hash" hashes
+// an atom's spelling into a small constructor term is not possible
+// generically, so hashing natives return a Bool-free atom-keyed result via
+// HashAtom.
+func defaultNative(name string) (NativeFunc, bool) {
+	switch {
+	case containsFold(name, "same") || containsFold(name, "eq"):
+		return SameAtoms, true
+	default:
+		return nil, false
+	}
+}
+
+func containsFold(s, sub string) bool {
+	n, m := len(s), len(sub)
+	for i := 0; i+m <= n; i++ {
+		ok := true
+		for j := 0; j < m; j++ {
+			c, d := s[i+j], sub[j]
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if 'A' <= d && d <= 'Z' {
+				d += 'a' - 'A'
+			}
+			if c != d {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// SameAtoms is the native equality on atoms: same?('x,'y) = false,
+// same?('x,'x) = true. Non-atom arguments leave the term unevaluated.
+func SameAtoms(args []*term.Term) (*term.Term, bool) {
+	if len(args) != 2 {
+		return nil, false
+	}
+	a, b := args[0], args[1]
+	if a.Kind != term.Atom || b.Kind != term.Atom {
+		return nil, false
+	}
+	return term.Bool(a.Sym == b.Sym && a.Sort == b.Sort), true
+}
+
+// HashAtomMod returns a native that hashes an atom's spelling modulo n,
+// producing the term bucket_k (a constant that must exist in the
+// signature). It reproduces the paper's HASH: Identifier -> [1..n].
+func HashAtomMod(n int, bucket func(k int) *term.Term) NativeFunc {
+	return func(args []*term.Term) (*term.Term, bool) {
+		if len(args) != 1 || args[0].Kind != term.Atom {
+			return nil, false
+		}
+		h := fnv.New32a()
+		h.Write([]byte(args[0].Sym))
+		return bucket(int(h.Sum32() % uint32(n))), true
+	}
+}
+
+// Spec returns the specification the system was compiled from.
+func (s *System) Spec() *spec.Spec { return s.sp }
+
+// Rules returns the compiled rules in priority order.
+func (s *System) Rules() []Rule {
+	out := make([]Rule, len(s.rules))
+	copy(out, s.rules)
+	return out
+}
+
+// Steps reports the number of rule applications performed since the last
+// ResetSteps. Native evaluations and if-reductions count as steps.
+func (s *System) Steps() int { return s.steps }
+
+// ResetSteps zeroes the step counter.
+func (s *System) ResetSteps() { s.steps = 0 }
+
+// Normalize rewrites the term to normal form. Ground terms over a
+// sufficiently complete, consistent specification reach a unique
+// constructor normal form (or error). Terms containing variables are
+// normalized symbolically: a redex whose arguments are not covered by any
+// rule is left in place. The fuel limit applies per call: a long-lived
+// System normalizes any number of terms, each with a fresh budget.
+func (s *System) Normalize(t *term.Term) (*term.Term, error) {
+	if !s.active {
+		s.active = true
+		s.budget = s.steps + s.maxSteps
+		defer func() { s.active = false }()
+	}
+	if s.memo != nil {
+		defer func() {
+			// Bound memory: drop the memo table if it grows very large.
+			if len(s.memo) > 1<<18 {
+				s.memo = make(map[uint64]*term.Term)
+			}
+		}()
+	}
+	switch s.strategy {
+	case Outermost:
+		return s.normalizeOutermost(t)
+	default:
+		return s.normalizeInnermost(t)
+	}
+}
+
+// MustNormalize is Normalize for callers that treat failure as a bug.
+func (s *System) MustNormalize(t *term.Term) *term.Term {
+	out, err := s.Normalize(t)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func (s *System) spend(last *term.Term) error {
+	s.steps++
+	if s.steps > s.budget {
+		return &ErrFuel{Steps: s.maxSteps, Last: last}
+	}
+	return nil
+}
+
+// normalizeInnermost is call-by-value evaluation with lazy if and strict
+// error.
+func (s *System) normalizeInnermost(t *term.Term) (*term.Term, error) {
+	switch t.Kind {
+	case term.Var, term.Atom, term.Err:
+		return t, nil
+	}
+
+	if t.IsIf() {
+		return s.reduceIf(t)
+	}
+
+	var memoKey uint64
+	if s.memo != nil && t.IsGround() {
+		memoKey = t.Hash()
+		if nf, ok := s.memo[memoKey]; ok {
+			return nf, nil
+		}
+	}
+
+	// Normalize arguments first.
+	args := make([]*term.Term, len(t.Args))
+	changed := false
+	for i, a := range t.Args {
+		na, err := s.normalizeInnermost(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = na
+		if na != a {
+			changed = true
+		}
+		if na.IsErr() {
+			// Strictness: short-circuit the remaining arguments.
+			if err := s.spend(t); err != nil {
+				return nil, err
+			}
+			return term.NewErr(t.Sort), nil
+		}
+	}
+	cur := t
+	if changed {
+		cur = &term.Term{Kind: term.Op, Sym: t.Sym, Sort: t.Sort, Args: args}
+	}
+
+	nf, err := s.rootThenRecurse(cur)
+	if err != nil {
+		return nil, err
+	}
+	if s.memo != nil && memoKey != 0 {
+		s.memo[memoKey] = nf
+	}
+	return nf, nil
+}
+
+// rootThenRecurse applies a rule or native at the root of a term whose
+// arguments are already in normal form; on success the result is
+// normalized again.
+func (s *System) rootThenRecurse(cur *term.Term) (*term.Term, error) {
+	if red, ok, err := s.stepRoot(cur); err != nil {
+		return nil, err
+	} else if ok {
+		return s.normalizeInnermost(red)
+	}
+	return cur, nil
+}
+
+// stepRoot tries native evaluation then each applicable rule at the root.
+func (s *System) stepRoot(cur *term.Term) (*term.Term, bool, error) {
+	if nf, ok := s.native[cur.Sym]; ok {
+		if out, applied := nf(cur.Args); applied {
+			if err := s.spend(cur); err != nil {
+				return nil, false, err
+			}
+			if s.trace != nil {
+				s.trace(TraceStep{Rule: Rule{Label: "native:" + cur.Sym}, Before: cur, After: out})
+			}
+			return out, true, nil
+		}
+	}
+	for _, ri := range s.candidates(cur.Sym) {
+		r := s.rules[ri]
+		m := subst.TryMatch(r.LHS, cur)
+		if m == nil {
+			continue
+		}
+		if err := s.spend(cur); err != nil {
+			return nil, false, err
+		}
+		out := m.Apply(r.RHS)
+		if s.trace != nil {
+			s.trace(TraceStep{Rule: r, Before: cur, After: out})
+		}
+		return out, true, nil
+	}
+	return nil, false, nil
+}
+
+func (s *System) candidates(head string) []int {
+	if s.noIndex {
+		all := make([]int, len(s.rules))
+		for i := range s.rules {
+			all[i] = i
+		}
+		return all
+	}
+	return s.index[head]
+}
+
+// reduceIf gives the conditional its lazy semantics.
+func (s *System) reduceIf(t *term.Term) (*term.Term, error) {
+	cond, err := s.Normalize(t.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case cond.IsErr():
+		if err := s.spend(t); err != nil {
+			return nil, err
+		}
+		return term.NewErr(t.Sort), nil
+	case cond.IsTrue():
+		if err := s.spend(t); err != nil {
+			return nil, err
+		}
+		return s.Normalize(t.Args[1])
+	case cond.IsFalse():
+		if err := s.spend(t); err != nil {
+			return nil, err
+		}
+		return s.Normalize(t.Args[2])
+	default:
+		// Symbolic condition: normalize branches and keep the if.
+		then, err := s.Normalize(t.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		els, err := s.Normalize(t.Args[2])
+		if err != nil {
+			return nil, err
+		}
+		if cond == t.Args[0] && then == t.Args[1] && els == t.Args[2] {
+			return t, nil
+		}
+		out := term.NewIf(cond, then, els)
+		out.Sort = t.Sort
+		return out, nil
+	}
+}
+
+// normalizeOutermost repeatedly contracts the leftmost-outermost redex.
+func (s *System) normalizeOutermost(t *term.Term) (*term.Term, error) {
+	cur := t
+	for {
+		next, ok, err := s.stepOutermost(cur)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return cur, nil
+		}
+		cur = next
+	}
+}
+
+// stepOutermost performs one leftmost-outermost step, honouring the if and
+// error special forms.
+func (s *System) stepOutermost(t *term.Term) (*term.Term, bool, error) {
+	switch t.Kind {
+	case term.Var, term.Atom, term.Err:
+		return t, false, nil
+	}
+	if t.IsIf() {
+		cond := t.Args[0]
+		switch {
+		case cond.IsErr():
+			if err := s.spend(t); err != nil {
+				return nil, false, err
+			}
+			return term.NewErr(t.Sort), true, nil
+		case cond.IsTrue():
+			if err := s.spend(t); err != nil {
+				return nil, false, err
+			}
+			return t.Args[1], true, nil
+		case cond.IsFalse():
+			if err := s.spend(t); err != nil {
+				return nil, false, err
+			}
+			return t.Args[2], true, nil
+		default:
+			nc, ok, err := s.stepOutermost(cond)
+			if err != nil || !ok {
+				return t, ok, err
+			}
+			return term.NewIf(nc, t.Args[1], t.Args[2]), true, nil
+		}
+	}
+	// Strict error at the root.
+	for _, a := range t.Args {
+		if a.IsErr() {
+			if err := s.spend(t); err != nil {
+				return nil, false, err
+			}
+			return term.NewErr(t.Sort), true, nil
+		}
+	}
+	// Root redex first.
+	if red, ok, err := s.stepRoot(t); err != nil {
+		return nil, false, err
+	} else if ok {
+		return red, true, nil
+	}
+	// Otherwise leftmost argument.
+	for i, a := range t.Args {
+		na, ok, err := s.stepOutermost(a)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			args := make([]*term.Term, len(t.Args))
+			copy(args, t.Args)
+			args[i] = na
+			return &term.Term{Kind: term.Op, Sym: t.Sym, Sort: t.Sort, Args: args}, true, nil
+		}
+	}
+	return t, false, nil
+}
+
+// IsConstructorForm reports whether a ground term is built solely from
+// constructors, atoms and error — i.e. whether it is a value. The dynamic
+// half of the sufficient-completeness check asks exactly this of every
+// normal form.
+func IsConstructorForm(sp *spec.Spec, t *term.Term) bool {
+	switch t.Kind {
+	case term.Err, term.Atom:
+		return true
+	case term.Var:
+		return false
+	}
+	if t.IsIf() {
+		return false
+	}
+	if !sp.IsConstructor(t.Sym) {
+		return false
+	}
+	for _, a := range t.Args {
+		if !IsConstructorForm(sp, a) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,200 @@
+package spec
+
+import (
+	"fmt"
+
+	"algspec/internal/sig"
+	"algspec/internal/term"
+)
+
+// Instantiate realizes the paper's observation that a parameterized
+// specification "may be viewed as defining a type schema rather than a
+// single type" (§3): it produces a new specification from a schema by
+// binding parameter sorts to concrete sorts of a host signature.
+//
+// host supplies the definitions of the binding targets (e.g. the
+// Identifier spec when binding Item := Identifier); its signature and
+// axioms are merged into the result. rename maps each of the schema's
+// own operation and sort names into the instance's namespace — it must
+// be injective on the names it changes and is applied to the schema's
+// principal and auxiliary sorts as well, so several instances of one
+// schema can coexist in an environment. Passing nil keeps all names,
+// which is fine for a single instance.
+func Instantiate(schema *Spec, instanceName string, bindings map[sig.Sort]sig.Sort, host *Spec, rename func(string) string) (*Spec, error) {
+	if rename == nil {
+		rename = func(s string) string { return s }
+	}
+	for p := range bindings {
+		if !schema.Sig.IsParam(p) {
+			return nil, fmt.Errorf("spec: instantiate %s: %s is not a parameter sort", schema.Name, p)
+		}
+	}
+	for _, so := range schema.Sig.Sorts() {
+		if schema.Sig.IsParam(so) {
+			if _, ok := bindings[so]; !ok {
+				return nil, fmt.Errorf("spec: instantiate %s: parameter %s left unbound", schema.Name, so)
+			}
+		}
+	}
+	if host == nil {
+		return nil, fmt.Errorf("spec: instantiate %s: nil host", schema.Name)
+	}
+	for _, target := range bindings {
+		if !host.Sig.HasSort(target) {
+			return nil, fmt.Errorf("spec: instantiate %s: host %s has no sort %s", schema.Name, host.Name, target)
+		}
+	}
+
+	// Sort mapping: parameters go to their bindings; the schema's own
+	// non-parameter sorts are renamed; everything inherited (Bool and
+	// other used specs' sorts) keeps its name whether or not the host
+	// happens to supply it.
+	ownSort := map[sig.Sort]bool{}
+	for _, so := range schema.OwnSorts {
+		ownSort[so] = true
+	}
+	mapSort := func(so sig.Sort) sig.Sort {
+		if t, ok := bindings[so]; ok {
+			return t
+		}
+		if ownSort[so] {
+			return sig.Sort(rename(string(so)))
+		}
+		return so
+	}
+
+	out := &Spec{Name: instanceName, Sig: sig.New(instanceName)}
+	if err := out.Sig.Merge(host.Sig); err != nil {
+		return nil, err
+	}
+	// Schema sorts not provided by the host.
+	for _, so := range schema.Sig.Sorts() {
+		m := mapSort(so)
+		if out.Sig.HasSort(m) {
+			continue
+		}
+		if schema.Sig.IsAtomSort(so) {
+			if err := out.Sig.AddAtomSort(m); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := out.Sig.AddSort(m); err != nil {
+			return nil, err
+		}
+	}
+	// Schema operations not provided by the host. Only the schema's own
+	// operations are renamed; inherited ones (Bool's true, not, ...)
+	// keep their names so the engine's built-in boolean handling and
+	// any shared vocabulary continue to line up.
+	own := map[string]bool{}
+	for _, n := range schema.OwnOps {
+		own[n] = true
+	}
+	opName := map[string]string{}
+	for _, op := range schema.Sig.Ops() {
+		if _, fromHost := host.Sig.Op(op.Name); fromHost {
+			opName[op.Name] = op.Name
+			continue
+		}
+		n := op.Name
+		if own[op.Name] {
+			n = rename(op.Name)
+		}
+		if prev, dup := out.Sig.Op(n); dup {
+			return nil, fmt.Errorf("spec: instantiate %s: renamed operation %s collides with %s", schema.Name, n, prev)
+		}
+		dom := make([]sig.Sort, len(op.Domain))
+		for i, d := range op.Domain {
+			dom[i] = mapSort(d)
+		}
+		if err := out.Sig.Declare(&sig.Operation{
+			Name:   n,
+			Domain: dom,
+			Range:  mapSort(op.Range),
+			Owner:  instanceName,
+			Native: op.Native,
+		}); err != nil {
+			return nil, err
+		}
+		opName[op.Name] = n
+		if own[op.Name] {
+			out.OwnOps = append(out.OwnOps, n)
+		}
+	}
+	for _, so := range schema.OwnSorts {
+		if _, bound := bindings[so]; !bound {
+			out.OwnSorts = append(out.OwnSorts, mapSort(so))
+		}
+	}
+
+	// Axioms: host's, then the schema's translated.
+	seen := map[string]bool{}
+	for _, a := range host.All {
+		key := a.Owner + "\x00" + a.Label
+		if !seen[key] {
+			seen[key] = true
+			out.All = append(out.All, a)
+		}
+	}
+	translate := func(t *term.Term) *term.Term { return mapTerm(t, mapSort, opName) }
+	for _, a := range schema.All {
+		key := a.Owner + "\x00" + a.Label
+		if seen[key] {
+			continue
+		}
+		if _, fromHost := hostAxiom(host, a); fromHost {
+			continue
+		}
+		seen[key] = true
+		na := &Axiom{
+			Label: a.Label,
+			Owner: instanceName,
+			LHS:   translate(a.LHS),
+			RHS:   translate(a.RHS),
+		}
+		out.All = append(out.All, na)
+		out.Own = append(out.Own, na)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("spec: instantiate %s: %w", schema.Name, err)
+	}
+	return out, nil
+}
+
+// hostAxiom reports whether the host already carries the axiom (shared
+// dependency like Bool).
+func hostAxiom(host *Spec, a *Axiom) (*Axiom, bool) {
+	for _, h := range host.All {
+		if h.Owner == a.Owner && h.Label == a.Label {
+			return h, true
+		}
+	}
+	return nil, false
+}
+
+// mapTerm rewrites sorts and operation names through the instantiation.
+func mapTerm(t *term.Term, mapSort func(sig.Sort) sig.Sort, opName map[string]string) *term.Term {
+	switch t.Kind {
+	case term.Var:
+		return term.NewVar(t.Sym, mapSort(t.Sort))
+	case term.Atom:
+		return term.NewAtom(t.Sym, mapSort(t.Sort))
+	case term.Err:
+		return term.NewErr(mapSort(t.Sort))
+	}
+	args := make([]*term.Term, len(t.Args))
+	for i, a := range t.Args {
+		args[i] = mapTerm(a, mapSort, opName)
+	}
+	if t.IsIf() {
+		out := term.NewIf(args[0], args[1], args[2])
+		out.Sort = mapSort(t.Sort)
+		return out
+	}
+	name := t.Sym
+	if n, ok := opName[name]; ok {
+		name = n
+	}
+	return term.NewOp(name, mapSort(t.Sort), args...)
+}

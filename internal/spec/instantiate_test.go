@@ -1,0 +1,155 @@
+package spec_test
+
+import (
+	"strings"
+	"testing"
+
+	"algspec/internal/complete"
+	"algspec/internal/core"
+	"algspec/internal/rewrite"
+	"algspec/internal/sig"
+	"algspec/internal/spec"
+	"algspec/internal/speclib"
+	"algspec/internal/term"
+)
+
+// idQueue instantiates the Queue schema with Item := Identifier, renaming
+// the schema's names into an IQ namespace.
+func idQueue(t *testing.T) (*core.Env, *spec.Spec) {
+	t.Helper()
+	env := speclib.BaseEnv()
+	inst, err := spec.Instantiate(
+		env.MustGet("Queue"),
+		"IdQueue",
+		map[sig.Sort]sig.Sort{"Item": "Identifier"},
+		env.MustGet("Identifier"),
+		func(name string) string {
+			if name == "Queue" {
+				return "IdQueue"
+			}
+			return name + "IQ"
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, inst
+}
+
+func TestInstantiateSignature(t *testing.T) {
+	_, inst := idQueue(t)
+	if !inst.Sig.HasSort("IdQueue") || inst.Sig.HasSort("Queue") || inst.Sig.HasSort("Item") {
+		t.Error("sort mapping wrong")
+	}
+	add, ok := inst.Sig.Op("addIQ")
+	if !ok {
+		t.Fatal("addIQ missing")
+	}
+	if add.Domain[0] != "IdQueue" || add.Domain[1] != "Identifier" || add.Range != "IdQueue" {
+		t.Errorf("addIQ = %v", add)
+	}
+	// The host's native equality is present and still native.
+	same, ok := inst.Sig.Op("same?")
+	if !ok || !same.Native {
+		t.Error("host's same? missing or not native")
+	}
+	// Axioms were translated: six own axioms with IQ names.
+	if len(inst.Own) != 6 {
+		t.Fatalf("own axioms = %d", len(inst.Own))
+	}
+	if !strings.Contains(inst.Own[3].String(), "frontIQ(addIQ(q, i))") {
+		t.Errorf("axiom 4 = %s", inst.Own[3])
+	}
+}
+
+func TestInstantiatedQueueEvaluates(t *testing.T) {
+	env, inst := idQueue(t)
+	if err := env.Add(inst); err != nil {
+		t.Fatal(err)
+	}
+	// Identifiers are the items now — the single atom sort in scope.
+	got := env.MustEval("IdQueue", "frontIQ(removeIQ(addIQ(addIQ(newIQ, 'x), 'y)))")
+	if got.String() != "'y" {
+		t.Errorf("eval = %s", got)
+	}
+	if !env.MustEval("IdQueue", "removeIQ(newIQ)").IsErr() {
+		t.Error("boundary condition lost in instantiation")
+	}
+}
+
+func TestInstanceIsSufficientlyComplete(t *testing.T) {
+	_, inst := idQueue(t)
+	if r := complete.Check(inst); !r.OK() {
+		t.Errorf("instance incomplete: %s", r)
+	}
+	sys := rewrite.New(inst)
+	tm := term.NewOp("isEmpty?IQ", sig.BoolSort, term.NewOp("newIQ", "IdQueue"))
+	if nf := sys.MustNormalize(tm); !nf.IsTrue() {
+		t.Errorf("isEmpty?IQ(newIQ) = %s", nf)
+	}
+}
+
+func TestTwoInstancesCoexist(t *testing.T) {
+	env := speclib.BaseEnv()
+	schema := env.MustGet("Queue")
+	mk := func(name, suffix string, target sig.Sort, host *spec.Spec) *spec.Spec {
+		t.Helper()
+		inst, err := spec.Instantiate(schema, name,
+			map[sig.Sort]sig.Sort{"Item": target}, host,
+			func(n string) string {
+				if n == "Queue" {
+					return name
+				}
+				return n + suffix
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst
+	}
+	q1 := mk("IdQueue", "IQ", "Identifier", env.MustGet("Identifier"))
+	q2 := mk("AttrQueue", "AQ", "Attrs", env.MustGet("Attrs"))
+	if err := env.Add(q1); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Add(q2); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.MustEval("AttrQueue", "frontAQ(addAQ(newAQ, 'a1))"); got.String() != "'a1" {
+		t.Errorf("AttrQueue eval = %s", got)
+	}
+}
+
+func TestInstantiateErrors(t *testing.T) {
+	env := speclib.BaseEnv()
+	schema := env.MustGet("Queue")
+	host := env.MustGet("Identifier")
+
+	// Unbound parameter.
+	if _, err := spec.Instantiate(schema, "X", map[sig.Sort]sig.Sort{}, host, nil); err == nil ||
+		!strings.Contains(err.Error(), "left unbound") {
+		t.Errorf("unbound: %v", err)
+	}
+	// Binding a non-parameter.
+	if _, err := spec.Instantiate(schema, "X",
+		map[sig.Sort]sig.Sort{"Item": "Identifier", "Queue": "Identifier"}, host, nil); err == nil ||
+		!strings.Contains(err.Error(), "not a parameter") {
+		t.Errorf("non-param: %v", err)
+	}
+	// Unknown target sort.
+	if _, err := spec.Instantiate(schema, "X",
+		map[sig.Sort]sig.Sort{"Item": "Ghost"}, host, nil); err == nil ||
+		!strings.Contains(err.Error(), "no sort Ghost") {
+		t.Errorf("unknown target: %v", err)
+	}
+	// Nil host.
+	if _, err := spec.Instantiate(schema, "X",
+		map[sig.Sort]sig.Sort{"Item": "Identifier"}, nil, nil); err == nil {
+		t.Error("nil host accepted")
+	}
+	// Renaming collision: everything maps to one name.
+	if _, err := spec.Instantiate(schema, "X",
+		map[sig.Sort]sig.Sort{"Item": "Identifier"}, host,
+		func(string) string { return "clash" }); err == nil {
+		t.Error("colliding rename accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package speclib
+
+// This file extends the library beyond the paper's own examples with
+// three classic algebraically-specified types in the same style. They
+// exercise corners the paper's types do not: multiplicity (Bag), ordered
+// recursion over a branching constructor (BST), and key shadowing with
+// deletion (Map).
+
+// Bag is a multiset of Elems: insertion order is unobservable, but
+// multiplicity is.
+const Bag = `
+spec Bag
+  uses Bool, Nat, Elem
+
+  ops
+    emptybag : -> Bag
+    insertb  : Bag, Elem -> Bag
+    countb   : Bag, Elem -> Nat
+    deleteb  : Bag, Elem -> Bag
+    memberB? : Bag, Elem -> Bool
+    sizeb    : Bag -> Nat
+
+  vars
+    b    : Bag
+    e, f : Elem
+
+  axioms
+    [c1] countb(emptybag, e) = zero
+    [c2] countb(insertb(b, e), f) = if sameElem?(e, f) then succ(countb(b, f)) else countb(b, f)
+    [d1] deleteb(emptybag, e) = emptybag
+    [d2] deleteb(insertb(b, e), f) = if sameElem?(e, f) then b else insertb(deleteb(b, f), e)
+    [m1] memberB?(b, e) = not(eqN(countb(b, e), zero))
+    [s1] sizeb(emptybag) = zero
+    [s2] sizeb(insertb(b, e)) = succ(sizeb(b))
+end
+`
+
+// BST is a binary tree of Nats searched in order. node is a free
+// constructor, so the carrier includes trees that violate the search
+// property; the observers descend by comparison regardless, which any
+// correct implementation must mirror exactly.
+const BST = `
+spec BST
+  uses Bool, Nat
+
+  ops
+    emptyt    : -> BST
+    node      : BST, Nat, BST -> BST
+    insertT   : BST, Nat -> BST
+    memberT?  : BST, Nat -> Bool
+    isEmptyT? : BST -> Bool
+    minT      : BST -> Nat
+    sizeT     : BST -> Nat
+
+  vars
+    l, r : BST
+    m, n : Nat
+
+  axioms
+    [i1] insertT(emptyt, n) = node(emptyt, n, emptyt)
+    [i2] insertT(node(l, m, r), n) = if ltN(n, m) then node(insertT(l, n), m, r) else if ltN(m, n) then node(l, m, insertT(r, n)) else node(l, m, r)
+    [m1] memberT?(emptyt, n) = false
+    [m2] memberT?(node(l, m, r), n) = if ltN(n, m) then memberT?(l, n) else if ltN(m, n) then memberT?(r, n) else true
+    [e1] isEmptyT?(emptyt) = true
+    [e2] isEmptyT?(node(l, m, r)) = false
+    [n1] minT(emptyt) = error
+    [n2] minT(node(l, m, r)) = if isEmptyT?(l) then m else minT(l)
+    [s1] sizeT(emptyt) = zero
+    [s2] sizeT(node(l, m, r)) = succ(addN(sizeT(l), sizeT(r)))
+end
+`
+
+// Map is a finite map from Elems to Elems with put/get/remove; a later
+// put shadows an earlier one, and removeKey erases every binding of the
+// key.
+const Map = `
+spec Map
+  uses Bool, Nat, Elem
+
+  ops
+    emptymap  : -> Map
+    put       : Map, Elem, Elem -> Map
+    get       : Map, Elem -> Elem
+    hasKey?   : Map, Elem -> Bool
+    removeKey : Map, Elem -> Map
+    sizeM     : Map -> Nat
+
+  vars
+    m       : Map
+    k, j, v : Elem
+
+  axioms
+    [g1] get(emptymap, k) = error
+    [g2] get(put(m, k, v), j) = if sameElem?(k, j) then v else get(m, j)
+    [h1] hasKey?(emptymap, k) = false
+    [h2] hasKey?(put(m, k, v), j) = if sameElem?(k, j) then true else hasKey?(m, j)
+    [r1] removeKey(emptymap, k) = emptymap
+    [r2] removeKey(put(m, k, v), j) = if sameElem?(k, j) then removeKey(m, j) else put(removeKey(m, j), k, v)
+    [s1] sizeM(emptymap) = zero
+    [s2] sizeM(put(m, k, v)) = if hasKey?(m, k) then sizeM(m) else succ(sizeM(m))
+end
+`

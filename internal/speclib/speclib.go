@@ -1,0 +1,521 @@
+// Package speclib contains the algebraic specifications from Guttag's
+// paper, written in the framework's surface syntax, plus the support
+// specifications they rest on. Axiom labels follow the paper's numbering
+// where the paper numbers them (Queue 1–6, Symboltable 1–9, Stack 10–16,
+// Array 17–20).
+//
+// BaseEnv loads the whole library in dependency order; individual sources
+// are exported so tests can load selected layers or mutate axioms.
+package speclib
+
+import "algspec/internal/core"
+
+// Bool is the boolean specification every other spec builds on. true and
+// false are its constructors; not/and/or are extensions.
+const Bool = `
+spec Bool
+  ops
+    true  : -> Bool
+    false : -> Bool
+    not   : Bool -> Bool
+    and   : Bool, Bool -> Bool
+    or    : Bool, Bool -> Bool
+
+  vars
+    b : Bool
+
+  axioms
+    [not1] not(true) = false
+    [not2] not(false) = true
+    [and1] and(true, b) = b
+    [and2] and(false, b) = false
+    [or1]  or(true, b) = true
+    [or2]  or(false, b) = b
+end
+`
+
+// Nat is the Peano naturals used for sizes and bounds (the Bounded Queue's
+// maximum length of three).
+const Nat = `
+spec Nat
+  uses Bool
+
+  ops
+    zero : -> Nat
+    succ : Nat -> Nat
+    pred : Nat -> Nat
+    addN : Nat, Nat -> Nat
+    eqN  : Nat, Nat -> Bool
+    ltN  : Nat, Nat -> Bool
+
+  vars
+    m, n : Nat
+
+  axioms
+    [pred1] pred(zero) = error
+    [pred2] pred(succ(n)) = n
+    [add1]  addN(zero, n) = n
+    [add2]  addN(succ(m), n) = succ(addN(m, n))
+    [eq1]   eqN(zero, zero) = true
+    [eq2]   eqN(zero, succ(n)) = false
+    [eq3]   eqN(succ(m), zero) = false
+    [eq4]   eqN(succ(m), succ(n)) = eqN(m, n)
+    [lt1]   ltN(m, zero) = false
+    [lt2]   ltN(zero, succ(n)) = true
+    [lt3]   ltN(succ(m), succ(n)) = ltN(m, n)
+end
+`
+
+// Identifier is the paper's independently defined type Identifier with the
+// native equality IS_SAME? ("SAME? is part of the specification of an
+// independently defined type Identifier"). Identifiers are atom literals.
+const Identifier = `
+spec Identifier
+  uses Bool
+  atoms Identifier
+
+  ops
+    native same? : Identifier, Identifier -> Bool
+end
+`
+
+// Attrs is the paper's AttributeList, treated as an opaque atom sort: the
+// symbol table stores and returns attribute lists without inspecting them.
+const Attrs = `
+spec Attrs
+  atoms Attrs
+end
+`
+
+// Elem is an atom sort with native equality, for the generic container
+// specs (Set, List) in the library.
+const Elem = `
+spec Elem
+  uses Bool
+  atoms Elem
+
+  ops
+    native sameElem? : Elem, Elem -> Bool
+end
+`
+
+// Queue is §3 of the paper verbatim: the FIFO queue of Items, Item being
+// "a parameter of the type" so that the specification "may be viewed as
+// defining a type schema rather than a single type".
+const Queue = `
+spec Queue
+  uses Bool
+  param Item
+
+  ops
+    new      : -> Queue
+    add      : Queue, Item -> Queue
+    front    : Queue -> Item
+    remove   : Queue -> Queue
+    isEmpty? : Queue -> Bool
+
+  vars
+    q : Queue
+    i : Item
+
+  axioms
+    [1] isEmpty?(new) = true
+    [2] isEmpty?(add(q, i)) = false
+    [3] front(new) = error
+    [4] front(add(q, i)) = if isEmpty?(q) then i else front(q)
+    [5] remove(new) = error
+    [6] remove(add(q, i)) = if isEmpty?(q) then new else add(remove(q), i)
+end
+`
+
+// BoundedQueue is the ring-buffer-motivating example of §4: a queue "with
+// a maximum length of three". Adding to a full queue is the boundary
+// condition; every observer maps an overfull queue to error.
+const BoundedQueue = `
+spec BoundedQueue
+  uses Bool, Nat
+  param Item
+
+  ops
+    emptyq    : -> BoundedQueue
+    addq      : BoundedQueue, Item -> BoundedQueue
+    frontq    : BoundedQueue -> Item
+    removeq   : BoundedQueue -> BoundedQueue
+    isEmptyQ? : BoundedQueue -> Bool
+    isFullQ?  : BoundedQueue -> Bool
+    sizeq     : BoundedQueue -> Nat
+    bound     : -> Nat
+
+  vars
+    q : BoundedQueue
+    i : Item
+
+  axioms
+    [b]   bound = succ(succ(succ(zero)))
+    [sz1] sizeq(emptyq) = zero
+    [sz2] sizeq(addq(q, i)) = if isFullQ?(q) then error else succ(sizeq(q))
+    [fu1] isFullQ?(q) = eqN(sizeq(q), bound)
+    [em1] isEmptyQ?(q) = eqN(sizeq(q), zero)
+    [fr1] frontq(emptyq) = error
+    [fr2] frontq(addq(q, i)) = if isFullQ?(q) then error else if isEmptyQ?(q) then i else frontq(q)
+    [rm1] removeq(emptyq) = error
+    [rm2] removeq(addq(q, i)) = if isFullQ?(q) then error else if isEmptyQ?(q) then emptyq else addq(removeq(q), i)
+end
+`
+
+// Symboltable is the extended example of §4: the symbol table of a
+// compiler for a block structured language. Axioms 1–9 as in the paper.
+const Symboltable = `
+spec Symboltable
+  uses Bool, Identifier, Attrs
+
+  ops
+    init       : -> Symboltable
+    enterblock : Symboltable -> Symboltable
+    leaveblock : Symboltable -> Symboltable
+    add        : Symboltable, Identifier, Attrs -> Symboltable
+    isInblock? : Symboltable, Identifier -> Bool
+    retrieve   : Symboltable, Identifier -> Attrs
+
+  vars
+    symtab   : Symboltable
+    id, idl  : Identifier
+    attrs    : Attrs
+
+  axioms
+    [1] leaveblock(init) = error
+    [2] leaveblock(enterblock(symtab)) = symtab
+    [3] leaveblock(add(symtab, id, attrs)) = leaveblock(symtab)
+    [4] isInblock?(init, id) = false
+    [5] isInblock?(enterblock(symtab), id) = false
+    [6] isInblock?(add(symtab, id, attrs), idl) = if same?(id, idl) then true else isInblock?(symtab, idl)
+    [7] retrieve(init, id) = error
+    [8] retrieve(enterblock(symtab), id) = retrieve(symtab, id)
+    [9] retrieve(add(symtab, id, attrs), idl) = if same?(id, idl) then attrs else retrieve(symtab, idl)
+end
+`
+
+// Array is the paper's type Array (of attribute lists, indexed by
+// identifiers), axioms 17–20.
+const Array = `
+spec Array
+  uses Bool, Identifier, Attrs
+
+  ops
+    empty        : -> Array
+    assign       : Array, Identifier, Attrs -> Array
+    read         : Array, Identifier -> Attrs
+    isUndefined? : Array, Identifier -> Bool
+
+  vars
+    arr      : Array
+    id, idl  : Identifier
+    attrs    : Attrs
+
+  axioms
+    [17] isUndefined?(empty, id) = true
+    [18] isUndefined?(assign(arr, id, attrs), idl) = if same?(id, idl) then false else isUndefined?(arr, idl)
+    [19] read(empty, id) = error
+    [20] read(assign(arr, id, attrs), idl) = if same?(id, idl) then attrs else read(arr, idl)
+end
+`
+
+// Stack is the paper's type Stack (of Arrays), axioms 10–16, used by the
+// representation of Symboltable.
+const Stack = `
+spec Stack
+  uses Bool, Array
+
+  ops
+    newstack    : -> Stack
+    push        : Stack, Array -> Stack
+    pop         : Stack -> Stack
+    top         : Stack -> Array
+    isNewstack? : Stack -> Bool
+    replace     : Stack, Array -> Stack
+
+  vars
+    stk : Stack
+    arr : Array
+
+  axioms
+    [10] isNewstack?(newstack) = true
+    [11] isNewstack?(push(stk, arr)) = false
+    [12] pop(newstack) = error
+    [13] pop(push(stk, arr)) = stk
+    [14] top(newstack) = error
+    [15] top(push(stk, arr)) = arr
+    [16] replace(stk, arr) = if isNewstack?(stk) then error else push(pop(stk), arr)
+end
+`
+
+// SymtabImpl is the representation of Symboltable from §4: "treat a value
+// of the type as a stack of arrays ... where each array contains the
+// attributes for the identifiers declared in a single block". Each
+// operation f of Symboltable has its interpretation f' here; the axioms
+// are the paper's "code" for the primed operations, read equationally.
+const SymtabImpl = `
+spec SymtabImpl
+  uses Bool, Stack
+
+  ops
+    init'       : -> Stack
+    enterblock' : Stack -> Stack
+    leaveblock' : Stack -> Stack
+    add'        : Stack, Identifier, Attrs -> Stack
+    isInblock'? : Stack, Identifier -> Bool
+    retrieve'   : Stack, Identifier -> Attrs
+
+  vars
+    stk   : Stack
+    id    : Identifier
+    attrs : Attrs
+
+  axioms
+    [i]  init' = push(newstack, empty)
+    [e]  enterblock'(stk) = push(stk, empty)
+    [l]  leaveblock'(stk) = if isNewstack?(pop(stk)) then error else pop(stk)
+    [a]  add'(stk, id, attrs) = replace(stk, assign(top(stk), id, attrs))
+    [ib] isInblock'?(stk, id) = if isNewstack?(stk) then error else not(isUndefined?(top(stk), id))
+    [r]  retrieve'(stk, id) = if isNewstack?(stk) then error else if isUndefined?(top(stk), id) then retrieve'(pop(stk), id) else read(top(stk), id)
+end
+`
+
+// SymList is an alternative, assumption-free representation substrate for
+// Symboltable: a single flat list of block marks and bindings. It exists
+// to demonstrate the paper's point that a representation-free
+// specification "enables the designer to delay the moment at which a
+// storage structure must be designed and frozen".
+const SymList = `
+spec SymList
+  uses Bool, Identifier, Attrs
+
+  ops
+    nilst : -> SymList
+    mark  : SymList -> SymList
+    bind  : SymList, Identifier, Attrs -> SymList
+end
+`
+
+// ListSymtabImpl implements the Symboltable operations over SymList.
+// Unlike SymtabImpl it satisfies all nine axioms without any environment
+// assumption (adding to an un-entered table works: bindings before the
+// first mark belong to the initial scope... it does not: add2 on nilst
+// produces bind(nilst,...) whose leaveblock2 is error, exactly matching
+// the abstract axioms).
+const ListSymtabImpl = `
+spec ListSymtabImpl
+  uses Bool, SymList
+
+  ops
+    init2       : -> SymList
+    enterblock2 : SymList -> SymList
+    leaveblock2 : SymList -> SymList
+    add2        : SymList, Identifier, Attrs -> SymList
+    isInblock2? : SymList, Identifier -> Bool
+    retrieve2   : SymList, Identifier -> Attrs
+    dropTo      : SymList -> SymList
+
+  vars
+    l        : SymList
+    id, idl  : Identifier
+    attrs    : Attrs
+
+  axioms
+    [i]   init2 = nilst
+    [e]   enterblock2(l) = mark(l)
+    [a]   add2(l, id, attrs) = bind(l, id, attrs)
+    [l1]  leaveblock2(nilst) = error
+    [l2]  leaveblock2(mark(l)) = l
+    [l3]  leaveblock2(bind(l, id, attrs)) = leaveblock2(l)
+    [ib1] isInblock2?(nilst, id) = false
+    [ib2] isInblock2?(mark(l), id) = false
+    [ib3] isInblock2?(bind(l, id, attrs), idl) = if same?(id, idl) then true else isInblock2?(l, idl)
+    [r1]  retrieve2(nilst, id) = error
+    [r2]  retrieve2(mark(l), id) = retrieve2(l, id)
+    [r3]  retrieve2(bind(l, id, attrs), idl) = if same?(id, idl) then attrs else retrieve2(l, idl)
+    [d1]  dropTo(nilst) = error
+    [d2]  dropTo(mark(l)) = l
+    [d3]  dropTo(bind(l, id, attrs)) = dropTo(l)
+end
+`
+
+// Knowlist is the §4 change-of-language example: "the inheritance of
+// global variables only if they appear in a knows list".
+const Knowlist = `
+spec Knowlist
+  uses Bool, Identifier
+
+  ops
+    create : -> Knowlist
+    append : Knowlist, Identifier -> Knowlist
+    isIn?  : Knowlist, Identifier -> Bool
+
+  vars
+    klist    : Knowlist
+    id, idl  : Identifier
+
+  axioms
+    [k1] isIn?(create, id) = false
+    [k2] isIn?(append(klist, id), idl) = if same?(id, idl) then true else isIn?(klist, idl)
+end
+`
+
+// SymboltableKnows is the adapted symbol table: ENTERBLOCK gains a
+// Knowlist argument, and — exactly as the paper says — "all relations,
+// and only those relations, that explicitly deal with the ENTERBLOCK
+// operation" change (axioms 2, 5 and 8).
+const SymboltableKnows = `
+spec SymboltableKnows
+  uses Bool, Identifier, Attrs, Knowlist
+
+  ops
+    init       : -> SymboltableKnows
+    enterblock : SymboltableKnows, Knowlist -> SymboltableKnows
+    leaveblock : SymboltableKnows -> SymboltableKnows
+    add        : SymboltableKnows, Identifier, Attrs -> SymboltableKnows
+    isInblock? : SymboltableKnows, Identifier -> Bool
+    retrieve   : SymboltableKnows, Identifier -> Attrs
+
+  vars
+    symtab   : SymboltableKnows
+    id, idl  : Identifier
+    attrs    : Attrs
+    klist    : Knowlist
+
+  axioms
+    [1] leaveblock(init) = error
+    [2] leaveblock(enterblock(symtab, klist)) = symtab
+    [3] leaveblock(add(symtab, id, attrs)) = leaveblock(symtab)
+    [4] isInblock?(init, id) = false
+    [5] isInblock?(enterblock(symtab, klist), id) = false
+    [6] isInblock?(add(symtab, id, attrs), idl) = if same?(id, idl) then true else isInblock?(symtab, idl)
+    [7] retrieve(init, id) = error
+    [8] retrieve(enterblock(symtab, klist), id) = if isIn?(klist, id) then retrieve(symtab, id) else error
+    [9] retrieve(add(symtab, id, attrs), idl) = if same?(id, idl) then attrs else retrieve(symtab, idl)
+end
+`
+
+// Set is a library extra in the paper's style: finite sets of Elems with
+// membership-based observers.
+const Set = `
+spec Set
+  uses Bool, Nat, Elem
+
+  ops
+    emptyset    : -> Set
+    insert      : Set, Elem -> Set
+    isMember?   : Set, Elem -> Bool
+    delete      : Set, Elem -> Set
+    card        : Set -> Nat
+    isEmptySet? : Set -> Bool
+
+  vars
+    s    : Set
+    e, f : Elem
+
+  axioms
+    [m1] isMember?(emptyset, e) = false
+    [m2] isMember?(insert(s, e), f) = if sameElem?(e, f) then true else isMember?(s, f)
+    [d1] delete(emptyset, e) = emptyset
+    [d2] delete(insert(s, e), f) = if sameElem?(e, f) then delete(s, f) else insert(delete(s, f), e)
+    [c1] card(emptyset) = zero
+    [c2] card(insert(s, e)) = if isMember?(s, e) then card(s) else succ(card(s))
+    [e1] isEmptySet?(emptyset) = true
+    [e2] isEmptySet?(insert(s, e)) = false
+end
+`
+
+// List is a library extra: sequences of Elems, exercising axioms that
+// recurse through an auxiliary operation (reverse via appendL).
+const List = `
+spec List
+  uses Bool, Nat, Elem
+
+  ops
+    nil      : -> List
+    cons     : Elem, List -> List
+    head     : List -> Elem
+    tail     : List -> List
+    isNil?   : List -> Bool
+    appendL  : List, List -> List
+    lengthL  : List -> Nat
+    memberL? : List, Elem -> Bool
+    reverseL : List -> List
+
+  vars
+    l, k : List
+    e, f : Elem
+
+  axioms
+    [h1]  head(nil) = error
+    [h2]  head(cons(e, l)) = e
+    [t1]  tail(nil) = error
+    [t2]  tail(cons(e, l)) = l
+    [n1]  isNil?(nil) = true
+    [n2]  isNil?(cons(e, l)) = false
+    [ap1] appendL(nil, k) = k
+    [ap2] appendL(cons(e, l), k) = cons(e, appendL(l, k))
+    [ln1] lengthL(nil) = zero
+    [ln2] lengthL(cons(e, l)) = succ(lengthL(l))
+    [mb1] memberL?(nil, e) = false
+    [mb2] memberL?(cons(e, l), f) = if sameElem?(e, f) then true else memberL?(l, f)
+    [rv1] reverseL(nil) = nil
+    [rv2] reverseL(cons(e, l)) = appendL(reverseL(l), cons(e, nil))
+end
+`
+
+// Sources lists every library source in dependency order.
+var Sources = []string{
+	Bool,
+	Nat,
+	Identifier,
+	Attrs,
+	Elem,
+	Queue,
+	BoundedQueue,
+	Symboltable,
+	Array,
+	Stack,
+	SymtabImpl,
+	SymList,
+	ListSymtabImpl,
+	Knowlist,
+	SymboltableKnows,
+	Set,
+	List,
+	Bag,
+	BST,
+	Map,
+}
+
+// Names lists the specification names in the same order as Sources.
+var Names = []string{
+	"Bool",
+	"Nat",
+	"Identifier",
+	"Attrs",
+	"Elem",
+	"Queue",
+	"BoundedQueue",
+	"Symboltable",
+	"Array",
+	"Stack",
+	"SymtabImpl",
+	"SymList",
+	"ListSymtabImpl",
+	"Knowlist",
+	"SymboltableKnows",
+	"Set",
+	"List",
+	"Bag",
+	"BST",
+	"Map",
+}
+
+// BaseEnv returns a fresh environment with the whole library loaded.
+func BaseEnv() *core.Env {
+	env := core.NewEnv()
+	env.MustLoad(Sources...)
+	return env
+}

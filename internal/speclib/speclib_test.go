@@ -1,0 +1,151 @@
+package speclib_test
+
+import (
+	"testing"
+
+	"algspec/internal/speclib"
+)
+
+func TestBaseEnvLoadsEverything(t *testing.T) {
+	env := speclib.BaseEnv()
+	if len(env.Names()) != len(speclib.Names) {
+		t.Fatalf("loaded %d specs, want %d", len(env.Names()), len(speclib.Names))
+	}
+	for i, name := range env.Names() {
+		if name != speclib.Names[i] {
+			t.Errorf("spec %d = %s, want %s", i, name, speclib.Names[i])
+		}
+	}
+}
+
+// The paper's axiom numbering is preserved: Queue 1-6, Symboltable 1-9,
+// Stack 10-16, Array 17-20.
+func TestPaperAxiomNumbering(t *testing.T) {
+	env := speclib.BaseEnv()
+	cases := []struct {
+		spec   string
+		labels []string
+	}{
+		{"Queue", []string{"1", "2", "3", "4", "5", "6"}},
+		{"Symboltable", []string{"1", "2", "3", "4", "5", "6", "7", "8", "9"}},
+		{"Stack", []string{"10", "11", "12", "13", "14", "15", "16"}},
+		{"Array", []string{"17", "18", "19", "20"}},
+	}
+	for _, c := range cases {
+		sp := env.MustGet(c.spec)
+		if len(sp.Own) != len(c.labels) {
+			t.Errorf("%s: %d axioms, want %d", c.spec, len(sp.Own), len(c.labels))
+			continue
+		}
+		for i, want := range c.labels {
+			if sp.Own[i].Label != want {
+				t.Errorf("%s axiom %d label = %s, want %s", c.spec, i, sp.Own[i].Label, want)
+			}
+		}
+	}
+}
+
+// The paper's operation inventories are present.
+func TestPaperOperations(t *testing.T) {
+	env := speclib.BaseEnv()
+	cases := map[string][]string{
+		"Queue":            {"new", "add", "front", "remove", "isEmpty?"},
+		"Symboltable":      {"init", "enterblock", "leaveblock", "add", "isInblock?", "retrieve"},
+		"Stack":            {"newstack", "push", "pop", "top", "isNewstack?", "replace"},
+		"Array":            {"empty", "assign", "read", "isUndefined?"},
+		"Knowlist":         {"create", "append", "isIn?"},
+		"SymtabImpl":       {"init'", "enterblock'", "leaveblock'", "add'", "isInblock'?", "retrieve'"},
+		"SymboltableKnows": {"init", "enterblock", "leaveblock", "add", "isInblock?", "retrieve"},
+	}
+	for name, ops := range cases {
+		sp := env.MustGet(name)
+		for _, opName := range ops {
+			if _, ok := sp.Sig.Op(opName); !ok {
+				t.Errorf("%s: operation %s missing", name, opName)
+			}
+		}
+	}
+}
+
+// The knows variant's ENTERBLOCK takes a Knowlist, and that is the only
+// functionality change among the six operations.
+func TestKnowsSignatureChange(t *testing.T) {
+	env := speclib.BaseEnv()
+	plain := env.MustGet("Symboltable")
+	knows := env.MustGet("SymboltableKnows")
+	eb, _ := knows.Sig.Op("enterblock")
+	if eb.Arity() != 2 || eb.Domain[1] != "Knowlist" {
+		t.Errorf("knows enterblock = %v", eb)
+	}
+	for _, name := range []string{"init", "leaveblock", "add", "isInblock?", "retrieve"} {
+		p := plain.Sig.MustOp(name)
+		k := knows.Sig.MustOp(name)
+		if p.Arity() != k.Arity() {
+			t.Errorf("%s arity changed: %d vs %d", name, p.Arity(), k.Arity())
+		}
+	}
+}
+
+// E6: exactly the ENTERBLOCK-mentioning axioms (2, 5, 8) differ between
+// the two symbol table specs.
+func TestKnowsAxiomLocality(t *testing.T) {
+	env := speclib.BaseEnv()
+	plain := env.MustGet("Symboltable")
+	knows := env.MustGet("SymboltableKnows")
+	changed := map[string]bool{}
+	for _, ax := range plain.Own {
+		kax, ok := knows.AxiomByLabel(ax.Label)
+		if !ok {
+			t.Fatalf("axiom %s missing from knows spec", ax.Label)
+		}
+		if ax.LHS.String() != kax.LHS.String() || ax.RHS.String() != kax.RHS.String() {
+			changed[ax.Label] = true
+		}
+	}
+	want := map[string]bool{"2": true, "5": true, "8": true}
+	if len(changed) != len(want) {
+		t.Errorf("changed = %v, want %v", changed, want)
+	}
+	for label := range want {
+		if !changed[label] {
+			t.Errorf("axiom %s should have changed", label)
+		}
+	}
+}
+
+// Native operations are flagged in the signature.
+func TestNativeOps(t *testing.T) {
+	env := speclib.BaseEnv()
+	id := env.MustGet("Identifier")
+	same := id.Sig.MustOp("same?")
+	if !same.Native {
+		t.Error("same? not native")
+	}
+	el := env.MustGet("Elem")
+	if !el.Sig.MustOp("sameElem?").Native {
+		t.Error("sameElem? not native")
+	}
+}
+
+// Spot-check behaviours across the library.
+func TestLibraryBehaviours(t *testing.T) {
+	env := speclib.BaseEnv()
+	cases := []struct{ spec, in, want string }{
+		{"Set", "isMember?(insert(insert(emptyset, 'a), 'b), 'a)", "true"},
+		{"Set", "isMember?(delete(insert(insert(emptyset, 'a), 'b), 'a), 'a)", "false"},
+		{"Set", "card(insert(insert(insert(emptyset, 'a), 'b), 'a))", "succ(succ(zero))"},
+		{"Set", "isEmptySet?(delete(insert(emptyset, 'a), 'a))", "true"},
+		{"List", "head(reverseL(cons('a, cons('b, nil))))", "'b"},
+		{"List", "lengthL(appendL(cons('a, nil), cons('b, cons('c, nil))))", "succ(succ(succ(zero)))"},
+		{"List", "memberL?(tail(cons('a, cons('b, nil))), 'a)", "false"},
+		{"BoundedQueue", "frontq(removeq(addq(addq(emptyq, 'a), 'b)))", "'b"},
+		{"BoundedQueue", "isFullQ?(addq(addq(addq(emptyq, 'a), 'b), 'c))", "true"},
+		{"Knowlist", "isIn?(append(append(create, 'x), 'y), 'x)", "true"},
+		{"Knowlist", "isIn?(create, 'x)", "false"},
+	}
+	for _, c := range cases {
+		if got := env.MustEval(c.spec, c.in).String(); got != c.want {
+			t.Errorf("%s: %s = %s, want %s", c.spec, c.in, got, c.want)
+		}
+	}
+}

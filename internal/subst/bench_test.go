@@ -1,0 +1,77 @@
+package subst
+
+import (
+	"testing"
+
+	"algspec/internal/term"
+)
+
+func benchPattern() *term.Term {
+	// remove(add(q, i)) — the paper's axiom 6 pattern.
+	return term.NewOp("remove", "Queue",
+		term.NewOp("add", "Queue",
+			term.NewVar("q", "Queue"),
+			term.NewVar("i", "Item")))
+}
+
+func benchTarget(depth int) *term.Term {
+	t := term.NewOp("new", "Queue")
+	for i := 0; i < depth; i++ {
+		t = term.NewOp("add", "Queue", t, term.NewAtom("x", "Item"))
+	}
+	return term.NewOp("remove", "Queue", t)
+}
+
+func BenchmarkMatch(b *testing.B) {
+	pat := benchPattern()
+	tgt := benchTarget(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if TryMatch(pat, tgt) == nil {
+			b.Fatal("match failed")
+		}
+	}
+}
+
+func BenchmarkMatchFail(b *testing.B) {
+	pat := benchPattern()
+	tgt := term.NewOp("remove", "Queue", term.NewOp("new", "Queue"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if TryMatch(pat, tgt) != nil {
+			b.Fatal("unexpected match")
+		}
+	}
+}
+
+func BenchmarkApply(b *testing.B) {
+	pat := benchPattern()
+	tgt := benchTarget(16)
+	m := TryMatch(pat, tgt)
+	if m == nil {
+		b.Fatal("match failed")
+	}
+	rhs := term.NewOp("add", "Queue",
+		term.NewOp("remove", "Queue", term.NewVar("q", "Queue")),
+		term.NewVar("i", "Item"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Apply(rhs)
+	}
+}
+
+func BenchmarkUnify(b *testing.B) {
+	l := term.NewOp("add", "Queue",
+		term.NewOp("add", "Queue", term.NewVar("q", "Queue"), term.NewVar("i", "Item")),
+		term.NewVar("j", "Item"))
+	r := term.NewOp("add", "Queue",
+		term.NewVar("r", "Queue"),
+		term.NewAtom("z", "Item"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Unify(l, r); !ok {
+			b.Fatal("unify failed")
+		}
+	}
+}

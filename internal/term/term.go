@@ -1,0 +1,447 @@
+// Package term implements the term algebra underlying algebraic
+// specifications: the words of the heterogeneous algebra built from
+// operation applications, typed free variables (the paper's "q" and "i"),
+// atom literals, and the distinguished error value whose defining property
+// is strictness — "the value of any operation applied to an argument list
+// containing error is error" (CACM 20(6) §3).
+//
+// The conditional used throughout the paper's axioms
+// ("if IS_EMPTY?(q) then i else FRONT(q)") is represented as a term with
+// the reserved head IfOp; the rewrite engine gives it its usual lazy
+// semantics.
+package term
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"algspec/internal/sig"
+)
+
+// Kind discriminates the four term shapes.
+type Kind uint8
+
+const (
+	// Op is an operation application f(t1,...,tn); constants are nullary
+	// applications.
+	Op Kind = iota
+	// Var is a typed free variable, used in axioms.
+	Var
+	// Atom is a literal constant of an atom sort, written 'x in the
+	// surface syntax. Atoms are self-interpreting: two atoms are equal
+	// exactly when their spellings are equal (the engine's native
+	// realization of IS_SAME?).
+	Atom
+	// Err is the distinguished error value.
+	Err
+)
+
+// Reserved head symbols.
+const (
+	// IfOp is the reserved head of the conditional special form.
+	// Args are [cond, then, else].
+	IfOp = "if"
+	// ErrName is the spelling of the error value.
+	ErrName = "error"
+	// TrueOp and FalseOp are the boolean constants every specification
+	// may rely on (the Bool specification declares them).
+	TrueOp  = "true"
+	FalseOp = "false"
+)
+
+// Term is an immutable first-order term. Clients must not mutate a Term
+// after construction; the engine shares subterms freely.
+type Term struct {
+	Kind Kind
+	// Sym is the operation name (Kind Op), variable name (Kind Var), or
+	// atom spelling without the quote (Kind Atom). Empty for Err.
+	Sym string
+	// Sort is the sort of the whole term. For Err the sort records the
+	// context the error arose in; error terms of different sorts are
+	// still equal, matching the paper's single distinguished value.
+	Sort sig.Sort
+	Args []*Term
+}
+
+// NewOp builds an operation application.
+func NewOp(name string, sort sig.Sort, args ...*Term) *Term {
+	return &Term{Kind: Op, Sym: name, Sort: sort, Args: args}
+}
+
+// NewVar builds a typed free variable.
+func NewVar(name string, sort sig.Sort) *Term {
+	return &Term{Kind: Var, Sym: name, Sort: sort}
+}
+
+// NewAtom builds an atom literal of the given atom sort.
+func NewAtom(spelling string, sort sig.Sort) *Term {
+	return &Term{Kind: Atom, Sym: spelling, Sort: sort}
+}
+
+// NewErr builds the distinguished error value at the given sort.
+func NewErr(sort sig.Sort) *Term {
+	return &Term{Kind: Err, Sym: ErrName, Sort: sort}
+}
+
+// NewIf builds a conditional term; its sort is the sort of the branches.
+func NewIf(cond, then, els *Term) *Term {
+	return &Term{Kind: Op, Sym: IfOp, Sort: then.Sort, Args: []*Term{cond, then, els}}
+}
+
+// True and False build the boolean constants.
+func True() *Term  { return NewOp(TrueOp, sig.BoolSort) }
+func False() *Term { return NewOp(FalseOp, sig.BoolSort) }
+
+// Bool builds true or false from a Go bool.
+func Bool(b bool) *Term {
+	if b {
+		return True()
+	}
+	return False()
+}
+
+// IsErr reports whether the term is the error value.
+func (t *Term) IsErr() bool { return t.Kind == Err }
+
+// IsIf reports whether the term is a conditional.
+func (t *Term) IsIf() bool { return t.Kind == Op && t.Sym == IfOp }
+
+// IsTrue and IsFalse report whether the term is the respective boolean
+// constant.
+func (t *Term) IsTrue() bool  { return t.Kind == Op && t.Sym == TrueOp && len(t.Args) == 0 }
+func (t *Term) IsFalse() bool { return t.Kind == Op && t.Sym == FalseOp && len(t.Args) == 0 }
+
+// Equal reports structural equality. Error terms are equal regardless of
+// the sort they were created at: the paper has a single error value.
+func (t *Term) Equal(u *Term) bool {
+	if t == u {
+		return true
+	}
+	if t == nil || u == nil {
+		return false
+	}
+	if t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case Err:
+		return true
+	case Var, Atom:
+		return t.Sym == u.Sym && t.Sort == u.Sort
+	default:
+		if t.Sym != u.Sym || len(t.Args) != len(u.Args) {
+			return false
+		}
+		for i := range t.Args {
+			if !t.Args[i].Equal(u.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Hash returns a structural hash consistent with Equal.
+func (t *Term) Hash() uint64 {
+	h := fnv.New64a()
+	t.hashInto(h)
+	return h.Sum64()
+}
+
+type hashWriter interface{ Write([]byte) (int, error) }
+
+func (t *Term) hashInto(h hashWriter) {
+	var kind [1]byte
+	kind[0] = byte(t.Kind)
+	h.Write(kind[:])
+	switch t.Kind {
+	case Err:
+		// All errors hash alike.
+	case Var, Atom:
+		h.Write([]byte(t.Sym))
+		h.Write([]byte{0})
+		h.Write([]byte(t.Sort))
+	default:
+		h.Write([]byte(t.Sym))
+		h.Write([]byte{0, byte(len(t.Args))})
+		for _, a := range t.Args {
+			a.hashInto(h)
+		}
+	}
+}
+
+// Size returns the number of nodes in the term.
+func (t *Term) Size() int {
+	n := 1
+	for _, a := range t.Args {
+		n += a.Size()
+	}
+	return n
+}
+
+// Depth returns the height of the term; constants have depth 1.
+func (t *Term) Depth() int {
+	d := 0
+	for _, a := range t.Args {
+		if ad := a.Depth(); ad > d {
+			d = ad
+		}
+	}
+	return d + 1
+}
+
+// IsGround reports whether the term contains no variables.
+func (t *Term) IsGround() bool {
+	if t.Kind == Var {
+		return false
+	}
+	for _, a := range t.Args {
+		if !a.IsGround() {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars returns the distinct variables of the term in first-occurrence
+// order (leftmost-innermost).
+func (t *Term) Vars() []*Term {
+	var out []*Term
+	seen := make(map[string]bool)
+	t.Walk(func(u *Term) bool {
+		if u.Kind == Var && !seen[u.Sym] {
+			seen[u.Sym] = true
+			out = append(out, u)
+		}
+		return true
+	})
+	return out
+}
+
+// HasVar reports whether the named variable occurs in the term.
+func (t *Term) HasVar(name string) bool {
+	found := false
+	t.Walk(func(u *Term) bool {
+		if u.Kind == Var && u.Sym == name {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// Walk visits the term preorder. If f returns false the walk does not
+// descend into the current term's arguments.
+func (t *Term) Walk(f func(*Term) bool) {
+	if !f(t) {
+		return
+	}
+	for _, a := range t.Args {
+		a.Walk(f)
+	}
+}
+
+// Subterms returns every subterm, preorder, including t itself.
+func (t *Term) Subterms() []*Term {
+	var out []*Term
+	t.Walk(func(u *Term) bool {
+		out = append(out, u)
+		return true
+	})
+	return out
+}
+
+// Path addresses a subterm by argument indices from the root.
+type Path []int
+
+// At returns the subterm at the path, or nil if the path is invalid.
+func (t *Term) At(p Path) *Term {
+	cur := t
+	for _, i := range p {
+		if cur == nil || i < 0 || i >= len(cur.Args) {
+			return nil
+		}
+		cur = cur.Args[i]
+	}
+	return cur
+}
+
+// ReplaceAt returns a copy of t with the subterm at path p replaced by u.
+// Unaffected subtrees are shared, not copied. An invalid path returns nil.
+func (t *Term) ReplaceAt(p Path, u *Term) *Term {
+	if len(p) == 0 {
+		return u
+	}
+	i := p[0]
+	if i < 0 || i >= len(t.Args) {
+		return nil
+	}
+	child := t.Args[i].ReplaceAt(p[1:], u)
+	if child == nil {
+		return nil
+	}
+	args := make([]*Term, len(t.Args))
+	copy(args, t.Args)
+	args[i] = child
+	return &Term{Kind: t.Kind, Sym: t.Sym, Sort: t.Sort, Args: args}
+}
+
+// Positions returns the paths of all subterms, preorder. The root is the
+// empty path.
+func (t *Term) Positions() []Path {
+	var out []Path
+	var rec func(u *Term, p Path)
+	rec = func(u *Term, p Path) {
+		cp := make(Path, len(p))
+		copy(cp, p)
+		out = append(out, cp)
+		for i, a := range u.Args {
+			rec(a, append(p, i))
+		}
+	}
+	rec(t, nil)
+	return out
+}
+
+// Rename returns a copy of the term with every variable name passed
+// through f (sharing is broken only along paths containing variables).
+func (t *Term) Rename(f func(string) string) *Term {
+	switch t.Kind {
+	case Var:
+		return NewVar(f(t.Sym), t.Sort)
+	case Atom, Err:
+		return t
+	default:
+		changed := false
+		args := make([]*Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = a.Rename(f)
+			if args[i] != a {
+				changed = true
+			}
+		}
+		if !changed {
+			return t
+		}
+		return &Term{Kind: t.Kind, Sym: t.Sym, Sort: t.Sort, Args: args}
+	}
+}
+
+// String renders the term in the surface syntax: f(a, b), 'atom, error,
+// variables bare, and conditionals as "if c then a else b".
+func (t *Term) String() string {
+	var b strings.Builder
+	t.write(&b)
+	return b.String()
+}
+
+func (t *Term) write(b *strings.Builder) {
+	switch t.Kind {
+	case Err:
+		b.WriteString(ErrName)
+	case Var:
+		b.WriteString(t.Sym)
+	case Atom:
+		b.WriteByte('\'')
+		b.WriteString(t.Sym)
+	default:
+		if t.IsIf() && len(t.Args) == 3 {
+			b.WriteString("if ")
+			t.Args[0].write(b)
+			b.WriteString(" then ")
+			t.Args[1].write(b)
+			b.WriteString(" else ")
+			t.Args[2].write(b)
+			return
+		}
+		b.WriteString(t.Sym)
+		if len(t.Args) == 0 {
+			return
+		}
+		b.WriteByte('(')
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			a.write(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// GoString renders the term unambiguously for debugging, with sorts.
+func (t *Term) GoString() string {
+	switch t.Kind {
+	case Err:
+		return fmt.Sprintf("error:%s", t.Sort)
+	case Var:
+		return fmt.Sprintf("%s:%s", t.Sym, t.Sort)
+	case Atom:
+		return fmt.Sprintf("'%s:%s", t.Sym, t.Sort)
+	default:
+		if len(t.Args) == 0 {
+			return fmt.Sprintf("%s:%s", t.Sym, t.Sort)
+		}
+		parts := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			parts[i] = a.GoString()
+		}
+		return fmt.Sprintf("%s(%s):%s", t.Sym, strings.Join(parts, ", "), t.Sort)
+	}
+}
+
+// Compare imposes a total order on terms (by kind, then symbol, then
+// args). It exists so reports and golden tests can sort term lists
+// deterministically.
+func Compare(a, b *Term) int {
+	if a.Kind != b.Kind {
+		return int(a.Kind) - int(b.Kind)
+	}
+	if a.Kind == Err {
+		return 0
+	}
+	if c := strings.Compare(a.Sym, b.Sym); c != 0 {
+		return c
+	}
+	if c := len(a.Args) - len(b.Args); c != 0 {
+		return c
+	}
+	for i := range a.Args {
+		if c := Compare(a.Args[i], b.Args[i]); c != 0 {
+			return c
+		}
+	}
+	return strings.Compare(string(a.Sort), string(b.Sort))
+}
+
+// SortTerms sorts a slice of terms in Compare order, in place.
+func SortTerms(ts []*Term) {
+	sort.Slice(ts, func(i, j int) bool { return Compare(ts[i], ts[j]) < 0 })
+}
+
+// FreshName returns a variable name not used in any of the given terms,
+// derived from base (base, base1, base2, ...).
+func FreshName(base string, avoid ...*Term) string {
+	used := make(map[string]bool)
+	for _, t := range avoid {
+		t.Walk(func(u *Term) bool {
+			if u.Kind == Var {
+				used[u.Sym] = true
+			}
+			return true
+		})
+	}
+	if !used[base] {
+		return base
+	}
+	for i := 1; ; i++ {
+		name := base + strconv.Itoa(i)
+		if !used[name] {
+			return name
+		}
+	}
+}

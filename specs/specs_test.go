@@ -1,0 +1,102 @@
+// Package specs_test keeps the shipped .spec files honest: each must
+// load against the library, pass both checkers, and evaluate its
+// documented example.
+package specs_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"algspec/internal/complete"
+	"algspec/internal/consist"
+	"algspec/internal/core"
+	"algspec/internal/speclib"
+)
+
+func loadAll(t *testing.T) (*core.Env, []string) {
+	t.Helper()
+	env := core.NewEnv()
+	env.MustLoad(speclib.Sources...)
+	files, err := filepath.Glob("*.spec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no .spec files found")
+	}
+	var names []string
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sps, err := env.Load(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		for _, sp := range sps {
+			names = append(names, sp.Name)
+		}
+	}
+	return env, names
+}
+
+func TestShippedSpecsCheckClean(t *testing.T) {
+	env, names := loadAll(t)
+	for _, name := range names {
+		sp := env.MustGet(name)
+		if r := complete.Check(sp); !r.OK() {
+			t.Errorf("%s: %s", name, r)
+		}
+		if r := consist.Check(sp); !r.OK() {
+			t.Errorf("%s: %s", name, r)
+		}
+		if r := complete.CheckDynamic(sp, complete.DynamicConfig{Depth: 3, MaxTermsPerOp: 300}); !r.OK() {
+			t.Errorf("%s: %s", name, r)
+		}
+	}
+}
+
+func TestShippedSpecsBehave(t *testing.T) {
+	env, _ := loadAll(t)
+	cases := []struct{ spec, in, want string }{
+		{"Counter", "value(undo(inc(inc(start))))", "succ(zero)"},
+		{"Counter", "undo(start)", "error"},
+		{"PQueue", "minpq(insertpq(insertpq(emptypq, succ(zero)), zero))", "zero"},
+		{"PQueue", "minpq(deleteMin(insertpq(insertpq(emptypq, succ(zero)), zero)))", "succ(zero)"},
+		{"PQueue", "deleteMin(emptypq)", "error"},
+		{"Graph", "hasEdge?(addEdge(addEdge(emptyg, 'a, 'b), 'b, 'c), 'a, 'b)", "true"},
+		{"Graph", "hasEdge?(addEdge(emptyg, 'a, 'b), 'b, 'a)", "false"},
+	}
+	for _, c := range cases {
+		got, err := env.Eval(c.spec, c.in)
+		if err != nil {
+			t.Errorf("%s: %s: %v", c.spec, c.in, err)
+			continue
+		}
+		if got.String() != c.want {
+			t.Errorf("%s: %s = %s, want %s", c.spec, c.in, got, c.want)
+		}
+	}
+}
+
+// The priority queue's min really is insertion-order independent: all
+// permutations of three inserts agree.
+func TestPQueueOrderIndependence(t *testing.T) {
+	env, _ := loadAll(t)
+	nums := []string{"zero", "succ(zero)", "succ(succ(zero))"}
+	perms := [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, p := range perms {
+		tm := "emptypq"
+		for _, i := range p {
+			tm = "insertpq(" + tm + ", " + nums[i] + ")"
+		}
+		if got := env.MustEval("PQueue", "minpq("+tm+")"); got.String() != "zero" {
+			t.Errorf("perm %v: min = %s", p, got)
+		}
+		if got := env.MustEval("PQueue", "minpq(deleteMin("+tm+"))"); got.String() != "succ(zero)" {
+			t.Errorf("perm %v: second min = %s", p, got)
+		}
+	}
+}
