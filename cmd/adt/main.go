@@ -173,6 +173,7 @@ func cmdCheck(args []string, out io.Writer) error {
 	lib := fs.Bool("lib", false, "preload the embedded specification library")
 	depth := fs.Int("depth", 4, "ground-term depth for the dynamic checks")
 	dynamic := fs.Bool("dynamic", true, "also run the dynamic (ground-term) checks")
+	workers := fs.Int("workers", 0, "worker goroutines for the dynamic checks (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -194,12 +195,18 @@ func cmdCheck(args []string, out io.Writer) error {
 			bad++
 		}
 		if *dynamic {
-			dr := complete.CheckDynamic(sp, complete.DynamicConfig{Depth: *depth})
+			// The env caches one compiled system per spec; the checkers
+			// fork it per worker instead of recompiling the axioms.
+			sys, err := env.System(name)
+			if err != nil {
+				return err
+			}
+			dr := complete.CheckDynamic(sp, complete.DynamicConfig{Depth: *depth, System: sys, Workers: *workers})
 			fmt.Fprint(out, dr)
 			if !dr.OK() {
 				bad++
 			}
-			gr := consist.CheckGround(sp, consist.GroundConfig{Depth: *depth})
+			gr := consist.CheckGround(sp, consist.GroundConfig{Depth: *depth, System: sys, Workers: *workers})
 			fmt.Fprint(out, gr)
 			if !gr.OK() {
 				bad++
@@ -218,6 +225,7 @@ func cmdEval(args []string, out io.Writer, traced bool) error {
 	fs.SetOutput(out)
 	lib := fs.Bool("lib", true, "preload the embedded specification library")
 	specName := fs.String("spec", "", "specification to evaluate against (required)")
+	stats := fs.Bool("stats", false, "print engine work counters (steps, rule fires, memo hits, native calls) after the normal form")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -240,6 +248,28 @@ func cmdEval(args []string, out io.Writer, traced bool) error {
 			return err
 		}
 		fmt.Fprintf(out, "normal form: %s\n", nf)
+		return nil
+	}
+	if *stats {
+		sys, err := env.System(*specName)
+		if err != nil {
+			return err
+		}
+		t, err := env.ParseTerm(*specName, termSrc)
+		if err != nil {
+			return err
+		}
+		before := sys.Stats()
+		nf, err := sys.Normalize(t)
+		if err != nil {
+			return err
+		}
+		d := sys.Stats()
+		fmt.Fprintln(out, nf)
+		fmt.Fprintf(out, "stats: steps=%d rule-fires=%d memo-hits=%d native-calls=%d interned=%d\n",
+			d.Steps-before.Steps, d.RuleFires-before.RuleFires,
+			d.MemoHits-before.MemoHits, d.NativeCalls-before.NativeCalls,
+			sys.Interner().Size())
 		return nil
 	}
 	nf, err := env.Eval(*specName, termSrc)

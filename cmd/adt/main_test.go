@@ -24,6 +24,58 @@ func TestEval(t *testing.T) {
 	}
 }
 
+func TestEvalStats(t *testing.T) {
+	code, out, errOut := runWith(t, "eval", "-spec", "Queue", "-stats",
+		"front(remove(add(add(add(new, 'a), 'b), 'c)))")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errOut)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 || lines[0] != "'b" {
+		t.Fatalf("out = %q", out)
+	}
+	if !strings.HasPrefix(lines[1], "stats: steps=") ||
+		!strings.Contains(lines[1], "rule-fires=") ||
+		!strings.Contains(lines[1], "memo-hits=") ||
+		!strings.Contains(lines[1], "native-calls=") ||
+		!strings.Contains(lines[1], "interned=") {
+		t.Errorf("stats line = %q", lines[1])
+	}
+	if strings.Contains(lines[1], "steps=0 ") {
+		t.Errorf("stats reported zero steps for a reducible term: %q", lines[1])
+	}
+}
+
+func TestCheckWorkersFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.alg")
+	src := `
+spec Tiny
+  uses Bool
+  ops
+    mk : -> Tiny
+    up : Tiny -> Tiny
+    f  : Tiny -> Bool
+  vars x : Tiny
+  axioms
+    f(mk) = true
+    f(up(x)) = f(x)
+end
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"1", "4"} {
+		code, out, errOut := runWith(t, "check", "-lib", "-workers", w, path)
+		if code != 0 {
+			t.Fatalf("workers=%s: exit = %d, stderr = %q, out = %q", w, code, errOut, out)
+		}
+		if !strings.Contains(out, "dynamic completeness of Tiny") {
+			t.Errorf("workers=%s: missing dynamic report: %q", w, out)
+		}
+	}
+}
+
 func TestEvalErrors(t *testing.T) {
 	// Missing -spec.
 	if code, _, _ := runWith(t, "eval", "front(new)"); code != 1 {

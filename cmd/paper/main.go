@@ -57,6 +57,7 @@ func run(args []string, out io.Writer) int {
 	fs.SetOutput(out)
 	depth := fs.Int("depth", 4, "ground-term depth for the bounded checks")
 	verbose := fs.Bool("v", false, "print details for passing rows too")
+	benchOut := fs.String("bench-out", "", "run the rewrite-engine benchmarks and write JSON rows to FILE, then exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -64,6 +65,14 @@ func run(args []string, out io.Writer) int {
 	r := &report{out: out, verbose: *verbose}
 	env := speclib.BaseEnv()
 	start := time.Now()
+
+	if *benchOut != "" {
+		if err := benchExport(out, *benchOut, env); err != nil {
+			fmt.Fprintf(out, "bench export: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	fmt.Fprintln(out, "Reproduction report — Guttag, “Abstract Data Types and the")
 	fmt.Fprintln(out, "Development of Data Structures”, CACM 20(6), 1977")

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"algspec/internal/gen"
+	"algspec/internal/par"
 	"algspec/internal/rewrite"
 	"algspec/internal/sig"
 	"algspec/internal/spec"
@@ -407,6 +408,13 @@ type DynamicConfig struct {
 	MaxTermsPerOp int
 	// Gen configures atom universes; zero value is fine.
 	Gen gen.Config
+	// System, when non-nil, supplies an already-compiled rewrite system
+	// for the spec (e.g. from core.Env's cache); workers fork it rather
+	// than recompiling the axioms.
+	System *rewrite.System
+	// Workers sets the number of normalization goroutines (<= 0 means
+	// GOMAXPROCS). The report is identical for any worker count.
+	Workers int
 }
 
 // DynamicFailure records a ground extension term that failed to reach
@@ -449,7 +457,11 @@ func (r *DynamicReport) String() string {
 }
 
 // CheckDynamic normalizes ground instances of every own extension
-// operation and verifies each reaches constructor form or error.
+// operation and verifies each reaches constructor form or error. The
+// instance list is built deterministically, sharded across workers (each
+// with its own forked rewrite system — a System is stateful and must not
+// be shared), and the outcomes are merged in instance order, so the
+// report does not depend on the worker count.
 func CheckDynamic(sp *spec.Spec, cfg DynamicConfig) *DynamicReport {
 	if cfg.Depth == 0 {
 		cfg.Depth = 4
@@ -459,7 +471,14 @@ func CheckDynamic(sp *spec.Spec, cfg DynamicConfig) *DynamicReport {
 	}
 	r := &DynamicReport{Spec: sp.Name}
 	g := gen.New(sp, cfg.Gen)
-	sys := rewrite.New(sp)
+	sys := cfg.System
+	if sys == nil {
+		sys = rewrite.New(sp)
+	}
+
+	// Phase 1: build the full instance list, in the same order the
+	// sequential loop visited it.
+	var items []*term.Term
 	for _, opName := range sp.OwnOps {
 		op := sp.Sig.MustOp(opName)
 		if op.Native || sp.IsConstructor(opName) {
@@ -475,16 +494,32 @@ func CheckDynamic(sp *spec.Spec, cfg DynamicConfig) *DynamicReport {
 			for i, v := range vars {
 				args[i] = inst[v.Sym]
 			}
-			t := term.NewOp(op.Name, op.Range, args...)
-			r.Checked++
-			nf, err := sys.Normalize(t)
+			items = append(items, term.NewOp(op.Name, op.Range, args...))
+		}
+	}
+	r.Checked = len(items)
+
+	// Phase 2: normalize in parallel, one forked system per worker.
+	outcomes := make([]DynamicFailure, len(items)) // zero Term = pass
+	par.ForEach(len(items), cfg.Workers, func(w, lo, hi int) {
+		wsys := sys.Fork()
+		for i := lo; i < hi; i++ {
+			t := items[i]
+			nf, err := wsys.Normalize(t)
 			if err != nil {
-				r.Failures = append(r.Failures, DynamicFailure{Term: t, Err: err})
+				outcomes[i] = DynamicFailure{Term: t, Err: err}
 				continue
 			}
 			if !rewrite.IsConstructorForm(sp, nf) {
-				r.Failures = append(r.Failures, DynamicFailure{Term: t, Normal: nf})
+				outcomes[i] = DynamicFailure{Term: t, Normal: nf}
 			}
+		}
+	})
+
+	// Phase 3: deterministic merge in item order.
+	for i := range outcomes {
+		if outcomes[i].Term != nil {
+			r.Failures = append(r.Failures, outcomes[i])
 		}
 	}
 	return r

@@ -1,0 +1,61 @@
+package complete_test
+
+import (
+	"testing"
+
+	"algspec/internal/complete"
+	"algspec/internal/rewrite"
+	"algspec/internal/speclib"
+)
+
+// The dynamic check must produce an identical report (counts, failures,
+// ordering) regardless of the worker count, and must be race-free when
+// several workers fork the same compiled system (run with -race).
+func TestCheckDynamicParallelDeterministic(t *testing.T) {
+	env := speclib.BaseEnv()
+	for _, name := range []string{"Queue", "Stack"} {
+		sp := env.MustGet(name)
+		seq := complete.CheckDynamic(sp, complete.DynamicConfig{Depth: 3, Workers: 1})
+		parl := complete.CheckDynamic(sp, complete.DynamicConfig{Depth: 3, Workers: 4})
+		if seq.String() != parl.String() {
+			t.Errorf("%s: reports differ between 1 and 4 workers:\n%s\nvs\n%s", name, seq, parl)
+		}
+		if seq.Checked == 0 {
+			t.Errorf("%s: dynamic check exercised nothing", name)
+		}
+	}
+}
+
+// Failures found in parallel come out in the same deterministic order as
+// the sequential run.
+func TestCheckDynamicParallelFindsFailuresInOrder(t *testing.T) {
+	sp := loadMutated(t, "5") // Queue with the remove(add(...)) axiom dropped
+	seq := complete.CheckDynamic(sp, complete.DynamicConfig{Depth: 3, Workers: 1})
+	parl := complete.CheckDynamic(sp, complete.DynamicConfig{Depth: 3, Workers: 4})
+	if seq.OK() || parl.OK() {
+		t.Fatal("mutated spec must fail the dynamic check")
+	}
+	if len(seq.Failures) != len(parl.Failures) {
+		t.Fatalf("failure counts differ: %d vs %d", len(seq.Failures), len(parl.Failures))
+	}
+	for i := range seq.Failures {
+		if seq.Failures[i].String() != parl.Failures[i].String() {
+			t.Errorf("failure %d differs: %s vs %s", i, seq.Failures[i], parl.Failures[i])
+		}
+	}
+}
+
+// A caller-supplied compiled system (e.g. core.Env's cache) is forked,
+// not mutated: its step counter stays untouched.
+func TestCheckDynamicUsesSuppliedSystem(t *testing.T) {
+	env := speclib.BaseEnv()
+	sp := env.MustGet("Queue")
+	sys := rewrite.New(sp)
+	r := complete.CheckDynamic(sp, complete.DynamicConfig{Depth: 3, System: sys, Workers: 4})
+	if !r.OK() {
+		t.Fatalf("queue dynamic check failed: %s", r)
+	}
+	if sys.Steps() != 0 {
+		t.Errorf("supplied system was mutated: steps = %d", sys.Steps())
+	}
+}

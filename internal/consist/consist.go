@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"algspec/internal/gen"
+	"algspec/internal/par"
 	"algspec/internal/rewrite"
 	"algspec/internal/sig"
 	"algspec/internal/spec"
@@ -198,6 +199,13 @@ type GroundConfig struct {
 	MaxTermsPerOp int
 	// Gen configures atom universes.
 	Gen gen.Config
+	// System, when non-nil, supplies an already-compiled rewrite system
+	// for the spec; workers fork it (with per-strategy options) instead
+	// of recompiling the axioms.
+	System *rewrite.System
+	// Workers sets the number of evaluation goroutines (<= 0 means
+	// GOMAXPROCS). The report is identical for any worker count.
+	Workers int
 }
 
 // GroundConflict records a ground term with strategy-dependent value.
@@ -237,6 +245,9 @@ func (r *GroundReport) String() string {
 // and outermost strategies and reports disagreements. On a confluent,
 // terminating system the two strategies agree on every ground term; a
 // disagreement pinpoints an inconsistency exercised by actual values.
+// Observations are sharded across workers, each holding its own pair of
+// forked systems (one per strategy), and outcomes are merged in
+// observation order, so the report does not depend on the worker count.
 func CheckGround(sp *spec.Spec, cfg GroundConfig) *GroundReport {
 	if cfg.Depth == 0 {
 		cfg.Depth = 4
@@ -246,13 +257,17 @@ func CheckGround(sp *spec.Spec, cfg GroundConfig) *GroundReport {
 	}
 	r := &GroundReport{Spec: sp.Name}
 	g := gen.New(sp, cfg.Gen)
-	inner := rewrite.New(sp, rewrite.WithStrategy(rewrite.Innermost))
-	outer := rewrite.New(sp, rewrite.WithStrategy(rewrite.Outermost))
+	base := cfg.System
+	if base == nil {
+		base = rewrite.New(sp)
+	}
 
 	observable := func(so sig.Sort) bool {
 		return so == sig.BoolSort || sp.Sig.IsAtomSort(so) || sp.Sig.IsParam(so)
 	}
 
+	// Deterministic observation list.
+	var items []*term.Term
 	for _, op := range sp.Sig.Ops() {
 		if op.Native || sp.IsConstructor(op.Name) || !observable(op.Range) {
 			continue
@@ -267,22 +282,42 @@ func CheckGround(sp *spec.Spec, cfg GroundConfig) *GroundReport {
 			for i, v := range vars {
 				args[i] = instMap[v.Sym]
 			}
-			t := term.NewOp(op.Name, op.Range, args...)
-			r.Checked++
+			items = append(items, term.NewOp(op.Name, op.Range, args...))
+		}
+	}
+	r.Checked = len(items)
+
+	type outcome struct {
+		conflict   *GroundConflict
+		errI, errO error
+	}
+	outcomes := make([]outcome, len(items))
+	par.ForEach(len(items), cfg.Workers, func(w, lo, hi int) {
+		inner := base.Fork(rewrite.WithStrategy(rewrite.Innermost))
+		outer := base.Fork(rewrite.WithStrategy(rewrite.Outermost))
+		for i := lo; i < hi; i++ {
+			t := items[i]
 			nfI, errI := inner.Normalize(t)
 			nfO, errO := outer.Normalize(t)
 			if errI != nil || errO != nil {
-				if errI != nil {
-					r.Errors = append(r.Errors, fmt.Errorf("%s: %w", t, errI))
-				}
-				if errO != nil {
-					r.Errors = append(r.Errors, fmt.Errorf("%s: %w", t, errO))
-				}
+				outcomes[i] = outcome{errI: errI, errO: errO}
 				continue
 			}
 			if !nfI.Equal(nfO) {
-				r.Conflicts = append(r.Conflicts, GroundConflict{Term: t, Innermost: nfI, Outermost: nfO})
+				outcomes[i] = outcome{conflict: &GroundConflict{Term: t, Innermost: nfI, Outermost: nfO}}
 			}
+		}
+	})
+
+	for i, o := range outcomes {
+		if o.errI != nil {
+			r.Errors = append(r.Errors, fmt.Errorf("%s: %w", items[i], o.errI))
+		}
+		if o.errO != nil {
+			r.Errors = append(r.Errors, fmt.Errorf("%s: %w", items[i], o.errO))
+		}
+		if o.conflict != nil {
+			r.Conflicts = append(r.Conflicts, *o.conflict)
 		}
 	}
 	return r

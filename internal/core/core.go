@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"algspec/internal/ast"
 	"algspec/internal/lang"
@@ -29,10 +30,15 @@ import (
 )
 
 // Env is an environment of checked specifications. The zero value is not
-// usable; call NewEnv.
+// usable; call NewEnv. Loading is not concurrency-safe, but once the
+// environment is populated, System/SystemWithStrategy may be called from
+// multiple goroutines (the compiled-system cache is mutex-guarded).
+// Note the cached systems themselves are stateful: a caller that wants to
+// normalize on several goroutines forks the cached system per worker.
 type Env struct {
 	specs   map[string]*spec.Spec
 	order   []string
+	sysMu   sync.Mutex
 	systems map[sysKey]*rewrite.System
 }
 
@@ -137,9 +143,13 @@ func (e *Env) System(name string) (*rewrite.System, error) {
 }
 
 // SystemWithStrategy returns a (cached) rewrite system with the given
-// strategy.
+// strategy. Compiling a specification (building rules and the head-symbol
+// index) happens once per (spec, strategy); repeated CLI commands and
+// checkers reuse the cached system.
 func (e *Env) SystemWithStrategy(name string, st rewrite.Strategy) (*rewrite.System, error) {
 	key := sysKey{name, st}
+	e.sysMu.Lock()
+	defer e.sysMu.Unlock()
 	if sys, ok := e.systems[key]; ok {
 		return sys, nil
 	}

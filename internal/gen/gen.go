@@ -13,6 +13,7 @@ package gen
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"algspec/internal/sig"
 	"algspec/internal/spec"
@@ -32,12 +33,21 @@ type Config struct {
 	// Seed seeds the random sampler (0 = a fixed default, keeping runs
 	// reproducible).
 	Seed int64
+	// Intern, when non-nil, makes the generator build hash-consed terms
+	// in the given interner, so generated terms are canonical and share
+	// structure with a rewrite system using the same interner.
+	Intern *term.Interner
 }
 
-// Generator enumerates and samples ground constructor terms.
+// Generator enumerates and samples ground constructor terms. All public
+// methods are safe for concurrent use: the parallel checker drivers share
+// one Generator across workers (so the enumeration memo is shared too) and
+// a mutex serializes access to the memo and the random source.
 type Generator struct {
+	mu       sync.Mutex
 	sp       *spec.Spec
 	cfg      Config
+	in       *term.Interner
 	rng      *rand.Rand
 	minDepth map[sig.Sort]int
 	memo     map[memoKey][]*term.Term
@@ -63,6 +73,7 @@ func New(sp *spec.Spec, cfg Config) *Generator {
 	g := &Generator{
 		sp:   sp,
 		cfg:  cfg,
+		in:   cfg.Intern,
 		rng:  rand.New(rand.NewSource(seed)),
 		memo: make(map[memoKey][]*term.Term),
 	}
@@ -125,6 +136,25 @@ func (g *Generator) constructorsOf(so sig.Sort) []*sig.Operation {
 	return g.sp.Constructors(so)
 }
 
+// Interner returns the interner generated terms are built in (nil when the
+// generator builds plain terms).
+func (g *Generator) Interner() *term.Interner { return g.in }
+
+// atom and op build terms through the interner when one is configured.
+func (g *Generator) atom(name string, so sig.Sort) *term.Term {
+	if g.in != nil {
+		return g.in.Atom(name, so)
+	}
+	return term.NewAtom(name, so)
+}
+
+func (g *Generator) op(name string, rng sig.Sort, args []*term.Term) *term.Term {
+	if g.in != nil {
+		return g.in.OpTerms(name, rng, args)
+	}
+	return &term.Term{Kind: term.Op, Sym: name, Sort: rng, Args: args}
+}
+
 // MinDepth returns the minimum ground-term depth for the sort, or false if
 // the sort has no finite ground terms.
 func (g *Generator) MinDepth(so sig.Sort) (int, bool) {
@@ -135,6 +165,13 @@ func (g *Generator) MinDepth(so sig.Sort) (int, bool) {
 // Enumerate returns every ground constructor term of the sort with depth
 // at most maxDepth, capped at Config.MaxTerms. The order is deterministic.
 func (g *Generator) Enumerate(so sig.Sort, maxDepth int) []*term.Term {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.enumCapped(so, maxDepth)
+}
+
+// enumCapped is Enumerate without the lock; callers hold g.mu.
+func (g *Generator) enumCapped(so sig.Sort, maxDepth int) []*term.Term {
 	out := g.enumerate(so, maxDepth)
 	if len(out) > g.cfg.MaxTerms {
 		out = out[:g.cfg.MaxTerms]
@@ -153,14 +190,14 @@ func (g *Generator) enumerate(so sig.Sort, maxDepth int) []*term.Term {
 	var out []*term.Term
 	if g.isLeafSort(so) {
 		for _, a := range g.atomsFor(so) {
-			out = append(out, term.NewAtom(a, so))
+			out = append(out, g.atom(a, so))
 		}
 		g.memo[key] = out
 		return out
 	}
 	for _, op := range g.constructorsOf(so) {
 		if len(op.Domain) == 0 {
-			out = append(out, term.NewOp(op.Name, op.Range))
+			out = append(out, g.op(op.Name, op.Range, nil))
 			continue
 		}
 		argChoices := make([][]*term.Term, len(op.Domain))
@@ -175,7 +212,7 @@ func (g *Generator) enumerate(so sig.Sort, maxDepth int) []*term.Term {
 		if !feasible {
 			continue
 		}
-		out = appendProducts(out, op, argChoices, g.cfg.MaxTerms+1)
+		out = g.appendProducts(out, op, argChoices, g.cfg.MaxTerms+1)
 	}
 	g.memo[key] = out
 	return out
@@ -183,7 +220,7 @@ func (g *Generator) enumerate(so sig.Sort, maxDepth int) []*term.Term {
 
 // appendProducts appends op applied to every combination of argument
 // choices, stopping once limit terms have been accumulated.
-func appendProducts(out []*term.Term, op *sig.Operation, choices [][]*term.Term, limit int) []*term.Term {
+func (g *Generator) appendProducts(out []*term.Term, op *sig.Operation, choices [][]*term.Term, limit int) []*term.Term {
 	idx := make([]int, len(choices))
 	for {
 		if len(out) >= limit {
@@ -193,7 +230,7 @@ func appendProducts(out []*term.Term, op *sig.Operation, choices [][]*term.Term,
 		for i, c := range choices {
 			args[i] = c[idx[i]]
 		}
-		out = append(out, term.NewOp(op.Name, op.Range, args...))
+		out = append(out, g.op(op.Name, op.Range, args))
 		// Odometer increment.
 		i := len(idx) - 1
 		for ; i >= 0; i-- {
@@ -212,12 +249,19 @@ func appendProducts(out []*term.Term, op *sig.Operation, choices [][]*term.Term,
 // Random returns one random ground constructor term of the sort with depth
 // at most maxDepth, or an error if the sort has no ground term that small.
 func (g *Generator) Random(so sig.Sort, maxDepth int) (*term.Term, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.random(so, maxDepth)
+}
+
+// random is Random without the lock; callers hold g.mu.
+func (g *Generator) random(so sig.Sort, maxDepth int) (*term.Term, error) {
 	if g.isLeafSort(so) {
 		atoms := g.atomsFor(so)
 		if len(atoms) == 0 {
 			return nil, fmt.Errorf("gen: no atoms configured for sort %s", so)
 		}
-		return term.NewAtom(atoms[g.rng.Intn(len(atoms))], so), nil
+		return g.atom(atoms[g.rng.Intn(len(atoms))], so), nil
 	}
 	md, ok := g.MinDepth(so)
 	if !ok || md > maxDepth {
@@ -243,20 +287,22 @@ func (g *Generator) Random(so sig.Sort, maxDepth int) (*term.Term, error) {
 	op := feasible[g.rng.Intn(len(feasible))]
 	args := make([]*term.Term, len(op.Domain))
 	for i, ds := range op.Domain {
-		a, err := g.Random(ds, maxDepth-1)
+		a, err := g.random(ds, maxDepth-1)
 		if err != nil {
 			return nil, err
 		}
 		args[i] = a
 	}
-	return term.NewOp(op.Name, op.Range, args...), nil
+	return g.op(op.Name, op.Range, args), nil
 }
 
 // RandomMany returns n random ground terms of the sort.
 func (g *Generator) RandomMany(so sig.Sort, maxDepth, n int) ([]*term.Term, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	out := make([]*term.Term, 0, n)
 	for i := 0; i < n; i++ {
-		t, err := g.Random(so, maxDepth)
+		t, err := g.random(so, maxDepth)
 		if err != nil {
 			return nil, err
 		}
@@ -270,12 +316,14 @@ func (g *Generator) RandomMany(so sig.Sort, maxDepth, n int) ([]*term.Term, erro
 // product of Enumerate for each variable's sort, capped at limit
 // assignments. Each assignment maps variable name to ground term.
 func (g *Generator) Instantiations(vars []*term.Term, maxDepth, limit int) []map[string]*term.Term {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if limit <= 0 {
 		limit = g.cfg.MaxTerms
 	}
 	choices := make([][]*term.Term, len(vars))
 	for i, v := range vars {
-		choices[i] = g.Enumerate(v.Sort, maxDepth)
+		choices[i] = g.enumCapped(v.Sort, maxDepth)
 		if len(choices[i]) == 0 {
 			return nil
 		}
@@ -311,6 +359,8 @@ func (g *Generator) Instantiations(vars []*term.Term, maxDepth, limit int) []map
 // the smallest enumerated terms of their sorts. Used by dynamic
 // completeness checking and by observational equivalence.
 func (g *Generator) ObserverTerms(so sig.Sort, values []*term.Term, fillDepth int) []*term.Term {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	var out []*term.Term
 	for _, op := range g.sp.Sig.OpsTaking(so) {
 		for pos, ds := range op.Domain {
@@ -323,7 +373,7 @@ func (g *Generator) ObserverTerms(so sig.Sort, values []*term.Term, fillDepth in
 				if i == pos {
 					continue
 				}
-				choice := g.Enumerate(fs, fillDepth)
+				choice := g.enumCapped(fs, fillDepth)
 				if len(choice) == 0 {
 					ok = false
 					break

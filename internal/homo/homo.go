@@ -29,10 +29,12 @@ package homo
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"algspec/internal/core"
 	"algspec/internal/gen"
+	"algspec/internal/par"
 	"algspec/internal/rewrite"
 	"algspec/internal/sig"
 	"algspec/internal/spec"
@@ -122,6 +124,10 @@ type Config struct {
 	ObsDepth int
 	// Gen configures atom universes.
 	Gen gen.Config
+	// Workers sets the number of verification goroutines per axiom
+	// (<= 0 means GOMAXPROCS). Each worker forks the merged and abstract
+	// rewrite systems; the report is identical for any worker count.
+	Workers int
 }
 
 func (c *Config) fill() {
@@ -264,7 +270,11 @@ func (v *Verifier) Interpret(t *term.Term) *term.Term {
 // PhiImage computes Φ of a concrete ground term: the abstract normal form
 // of phi(t).
 func (v *Verifier) PhiImage(t *term.Term) (*term.Term, error) {
-	return v.sys.Normalize(term.NewOp(PhiOpName, v.rep.AbsSort, t))
+	return phiImage(v.sys, v.rep.AbsSort, t)
+}
+
+func phiImage(sys *rewrite.System, absSort sig.Sort, t *term.Term) (*term.Term, error) {
+	return sys.Normalize(term.NewOp(PhiOpName, absSort, t))
 }
 
 // AxiomResult reports the verification outcome for one abstract axiom.
@@ -290,9 +300,14 @@ type Counterexample struct {
 }
 
 func (c Counterexample) String() string {
-	var parts []string
-	for k, t := range c.Assignment {
-		parts = append(parts, fmt.Sprintf("%s=%s", k, t))
+	names := make([]string, 0, len(c.Assignment))
+	for k := range c.Assignment {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, k := range names {
+		parts = append(parts, fmt.Sprintf("%s=%s", k, c.Assignment[k]))
 	}
 	return fmt.Sprintf("{%s}: %s /= %s", strings.Join(parts, ", "), c.LHS, c.RHS)
 }
@@ -373,6 +388,11 @@ func (v *Verifier) VerifyAxiom(label string, cfg Config) (*AxiomResult, error) {
 	return nil, fmt.Errorf("homo: abstract spec has no axiom labelled %q", label)
 }
 
+// verifyAxiom discharges one axiom's obligations. Instances are sharded
+// across workers, each holding forked merged and abstract systems (a
+// rewrite System is stateful and must not be shared across goroutines);
+// outcomes are merged in instance order, so the result — including which
+// normalization error surfaces first — does not depend on worker count.
 func (v *Verifier) verifyAxiom(ax *spec.Axiom, cfg Config) (*AxiomResult, error) {
 	res := &AxiomResult{Axiom: ax}
 	lhsI := v.Interpret(ax.LHS)
@@ -384,60 +404,96 @@ func (v *Verifier) verifyAxiom(ax *spec.Axiom, cfg Config) (*AxiomResult, error)
 	if len(vars) == 0 {
 		insts = []map[string]*term.Term{{}}
 	}
-	for _, inst := range insts {
-		res.Instances++
-		li := core.Instantiate(lhsI, inst)
-		ri := core.Instantiate(rhsI, inst)
-		if v.violatesAssumption(li) || v.violatesAssumption(ri) {
-			res.Skipped++
-			continue
-		}
-		var lv, rv *term.Term
-		var err error
-		if wrap {
-			lv, err = v.PhiImage(li)
-			if err != nil {
-				return nil, fmt.Errorf("homo: axiom [%s] phi(lhs) %s: %w", ax.Label, li, err)
-			}
-			rv, err = v.PhiImage(ri)
-			if err != nil {
-				return nil, fmt.Errorf("homo: axiom [%s] phi(rhs) %s: %w", ax.Label, ri, err)
-			}
-		} else {
-			lv, err = v.sys.Normalize(li)
-			if err != nil {
-				return nil, fmt.Errorf("homo: axiom [%s] lhs %s: %w", ax.Label, li, err)
-			}
-			rv, err = v.sys.Normalize(ri)
-			if err != nil {
-				return nil, fmt.Errorf("homo: axiom [%s] rhs %s: %w", ax.Label, ri, err)
-			}
-		}
-		if lv.Equal(rv) {
-			res.Passed++
-			continue
-		}
-		if wrap && cfg.ObsDepth > 0 {
-			eq, err := v.observationallyEqual(lv, rv, cfg)
-			if err != nil {
-				return nil, err
-			}
-			if eq {
-				res.ObservationalOnly++
-				res.Passed++
+
+	type outcome struct {
+		skipped bool
+		passed  bool
+		obsOnly bool
+		cx      *Counterexample
+		err     error
+	}
+	outcomes := make([]outcome, len(insts))
+	par.ForEach(len(insts), cfg.Workers, func(w, lo, hi int) {
+		sys := v.sys.Fork()
+		absSys := v.absSys.Fork()
+		for i := lo; i < hi; i++ {
+			inst := insts[i]
+			li := core.Instantiate(lhsI, inst)
+			ri := core.Instantiate(rhsI, inst)
+			if v.violatesAssumption(sys, li) || v.violatesAssumption(sys, ri) {
+				outcomes[i] = outcome{skipped: true}
 				continue
 			}
+			var lv, rv *term.Term
+			var err error
+			if wrap {
+				lv, err = phiImage(sys, v.rep.AbsSort, li)
+				if err != nil {
+					outcomes[i] = outcome{err: fmt.Errorf("homo: axiom [%s] phi(lhs) %s: %w", ax.Label, li, err)}
+					continue
+				}
+				rv, err = phiImage(sys, v.rep.AbsSort, ri)
+				if err != nil {
+					outcomes[i] = outcome{err: fmt.Errorf("homo: axiom [%s] phi(rhs) %s: %w", ax.Label, ri, err)}
+					continue
+				}
+			} else {
+				lv, err = sys.Normalize(li)
+				if err != nil {
+					outcomes[i] = outcome{err: fmt.Errorf("homo: axiom [%s] lhs %s: %w", ax.Label, li, err)}
+					continue
+				}
+				rv, err = sys.Normalize(ri)
+				if err != nil {
+					outcomes[i] = outcome{err: fmt.Errorf("homo: axiom [%s] rhs %s: %w", ax.Label, ri, err)}
+					continue
+				}
+			}
+			if lv.Equal(rv) {
+				outcomes[i] = outcome{passed: true}
+				continue
+			}
+			if wrap && cfg.ObsDepth > 0 {
+				eq, err := v.observationallyEqual(absSys, lv, rv, cfg)
+				if err != nil {
+					outcomes[i] = outcome{err: err}
+					continue
+				}
+				if eq {
+					outcomes[i] = outcome{passed: true, obsOnly: true}
+					continue
+				}
+			}
+			outcomes[i] = outcome{cx: &Counterexample{Assignment: inst, LHS: lv, RHS: rv}}
 		}
-		if len(res.Failures) < 32 {
-			res.Failures = append(res.Failures, Counterexample{Assignment: inst, LHS: lv, RHS: rv})
+	})
+
+	for i := range outcomes {
+		o := outcomes[i]
+		if o.err != nil {
+			return nil, o.err
+		}
+		res.Instances++
+		switch {
+		case o.skipped:
+			res.Skipped++
+		case o.passed:
+			res.Passed++
+			if o.obsOnly {
+				res.ObservationalOnly++
+			}
+		case o.cx != nil:
+			if len(res.Failures) < 32 {
+				res.Failures = append(res.Failures, *o.cx)
+			}
 		}
 	}
 	return res, nil
 }
 
 // violatesAssumption scans for constrained subterms outside their assumed
-// precondition.
-func (v *Verifier) violatesAssumption(t *term.Term) bool {
+// precondition, normalizing predicates in the caller's system.
+func (v *Verifier) violatesAssumption(sys *rewrite.System, t *term.Term) bool {
 	if len(v.assumptions) == 0 {
 		return false
 	}
@@ -454,7 +510,7 @@ func (v *Verifier) violatesAssumption(t *term.Term) bool {
 				continue
 			}
 			pred := core.Instantiate(as.pred, map[string]*term.Term{"x": u.Args[as.ArgIndex]})
-			nf, err := v.sys.Normalize(pred)
+			nf, err := sys.Normalize(pred)
 			if err != nil || !nf.Equal(as.want) {
 				violated = true
 				return false
@@ -467,14 +523,14 @@ func (v *Verifier) violatesAssumption(t *term.Term) bool {
 
 // observationallyEqual compares two abstract ground values through every
 // abstract observer context up to cfg.ObsDepth.
-func (v *Verifier) observationallyEqual(a, b *term.Term, cfg Config) (bool, error) {
+func (v *Verifier) observationallyEqual(absSys *rewrite.System, a, b *term.Term, cfg Config) (bool, error) {
 	if a.IsErr() || b.IsErr() {
 		return a.IsErr() && b.IsErr(), nil
 	}
-	return v.obsEqual(a, b, cfg.ObsDepth)
+	return v.obsEqual(absSys, a, b, cfg.ObsDepth)
 }
 
-func (v *Verifier) obsEqual(a, b *term.Term, depth int) (bool, error) {
+func (v *Verifier) obsEqual(absSys *rewrite.System, a, b *term.Term, depth int) (bool, error) {
 	if a.Equal(b) {
 		return true, nil
 	}
@@ -493,15 +549,15 @@ func (v *Verifier) obsEqual(a, b *term.Term, depth int) (bool, error) {
 			}
 			for _, fill := range fills {
 				ca, cb := contextApply(op, pos, a, fill), contextApply(op, pos, b, fill)
-				na, err := v.absSys.Normalize(ca)
+				na, err := absSys.Normalize(ca)
 				if err != nil {
 					return false, err
 				}
-				nb, err := v.absSys.Normalize(cb)
+				nb, err := absSys.Normalize(cb)
 				if err != nil {
 					return false, err
 				}
-				eq, err := v.obsEqual(na, nb, depth-1)
+				eq, err := v.obsEqual(absSys, na, nb, depth-1)
 				if err != nil {
 					return false, err
 				}

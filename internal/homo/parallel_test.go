@@ -1,0 +1,71 @@
+package homo_test
+
+import (
+	"testing"
+
+	"algspec/internal/homo"
+	"algspec/internal/reps"
+	"algspec/internal/speclib"
+)
+
+// Representation verification must produce an identical report for any
+// worker count: each worker forks the merged and abstract systems, and
+// per-instance outcomes are merged in instance order (run with -race).
+func TestVerifyParallelDeterministic(t *testing.T) {
+	env := speclib.BaseEnv()
+	v, err := reps.SymtabAsStack(env, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := v.Verify(homo.Config{Depth: 3, MaxInstancesPerAxiom: 300, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parl, err := v.Verify(homo.Config{Depth: 3, MaxInstancesPerAxiom: 300, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != parl.String() {
+		t.Errorf("reports differ between 1 and 4 workers:\n%s\nvs\n%s", seq, parl)
+	}
+	if len(seq.Results) == 0 {
+		t.Fatal("verification exercised nothing")
+	}
+	for i := range seq.Results {
+		s, p := seq.Results[i], parl.Results[i]
+		if s.Instances != p.Instances || s.Skipped != p.Skipped || s.Passed != p.Passed {
+			t.Errorf("axiom [%s]: counts differ: seq=%d/%d/%d par=%d/%d/%d",
+				s.Axiom.Label, s.Instances, s.Skipped, s.Passed,
+				p.Instances, p.Skipped, p.Passed)
+		}
+	}
+}
+
+// Without the assumption the failing axiom fails with the same
+// counterexamples (in the same order) for any worker count.
+func TestVerifyParallelCounterexamplesDeterministic(t *testing.T) {
+	env := speclib.BaseEnv()
+	v, err := reps.SymtabAsStack(env, false) // no Assumption 1: axiom 9 fails
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := v.VerifyAxiom("9", homo.Config{Depth: 3, MaxInstancesPerAxiom: 300, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parl, err := v.VerifyAxiom("9", homo.Config{Depth: 3, MaxInstancesPerAxiom: 300, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Failures) == 0 {
+		t.Fatal("expected counterexamples without the assumption")
+	}
+	if len(seq.Failures) != len(parl.Failures) {
+		t.Fatalf("counterexample counts differ: %d vs %d", len(seq.Failures), len(parl.Failures))
+	}
+	for i := range seq.Failures {
+		if seq.Failures[i].String() != parl.Failures[i].String() {
+			t.Errorf("counterexample %d differs: %s vs %s", i, seq.Failures[i], parl.Failures[i])
+		}
+	}
+}

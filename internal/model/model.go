@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"algspec/internal/gen"
+	"algspec/internal/par"
 	"algspec/internal/rewrite"
 	"algspec/internal/sig"
 	"algspec/internal/spec"
@@ -54,7 +55,12 @@ func IsErr(v Value) bool {
 	return ok
 }
 
-// Impl adapts a native implementation to the harness.
+// Impl adapts a native implementation to the harness. The checks run
+// their instances on several goroutines, so Apply, Atom and Reify must be
+// safe for concurrent calls — which they are automatically when the
+// implementation uses persistent (value-semantics) structures, as all the
+// bundled adapters do. An implementation with shared mutable state must
+// synchronize internally or be run with Config.Workers = 1.
 type Impl struct {
 	// SpecName names the specification this implements.
 	SpecName string
@@ -87,6 +93,15 @@ type Config struct {
 	ObsFill int
 	// Gen configures atom universes.
 	Gen gen.Config
+	// System, when non-nil, supplies an already-compiled rewrite system
+	// for the spec (used by CheckAgainstSpec); workers fork it instead
+	// of recompiling the axioms.
+	System *rewrite.System
+	// Workers sets the number of checking goroutines (<= 0 means
+	// GOMAXPROCS). The report is identical for any worker count; see
+	// Impl for the concurrency contract. Set 1 to force sequential
+	// checking of a non-thread-safe implementation.
+	Workers int
 }
 
 func (c *Config) fill() {
@@ -331,11 +346,19 @@ func (h *harness) applyContext(op *sig.Operation, hole int, v Value, fill []Valu
 }
 
 // CheckAxioms verifies every own axiom of the spec on the implementation.
+// Instances are sharded across workers and outcomes merged in instance
+// order; merging stops at the first adapter error, reproducing the
+// sequential early-return report for any worker count.
 func CheckAxioms(sp *spec.Spec, impl *Impl, cfg Config) *Report {
 	cfg.fill()
 	r := &Report{Spec: sp.Name}
 	h := &harness{sp: sp, impl: impl, cfg: cfg, g: gen.New(sp, cfg.Gen)}
 
+	type item struct {
+		ax       *spec.Axiom
+		lhs, rhs *term.Term
+	}
+	var items []item
 	for _, ax := range sp.Own {
 		vars := ax.LHS.Vars()
 		insts := h.g.Instantiations(vars, cfg.Depth, cfg.MaxInstancesPerAxiom)
@@ -343,32 +366,52 @@ func CheckAxioms(sp *spec.Spec, impl *Impl, cfg Config) *Report {
 			insts = []map[string]*term.Term{{}}
 		}
 		for _, inst := range insts {
-			lhs := applyAssignment(ax.LHS, inst)
-			rhs := applyAssignment(ax.RHS, inst)
-			r.Checked++
-			lv, err := h.Eval(lhs)
+			items = append(items, item{ax: ax, lhs: applyAssignment(ax.LHS, inst), rhs: applyAssignment(ax.RHS, inst)})
+		}
+	}
+
+	type outcome struct {
+		failure *Failure
+		fatal   error
+	}
+	outcomes := make([]outcome, len(items))
+	par.ForEach(len(items), cfg.Workers, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			it := items[i]
+			lv, err := h.Eval(it.lhs)
 			if err != nil {
-				r.Errors = append(r.Errors, fmt.Errorf("axiom [%s] lhs %s: %w", ax.Label, lhs, err))
-				return r
+				outcomes[i] = outcome{fatal: fmt.Errorf("axiom [%s] lhs %s: %w", it.ax.Label, it.lhs, err)}
+				continue
 			}
-			rv, err := h.Eval(rhs)
+			rv, err := h.Eval(it.rhs)
 			if err != nil {
-				r.Errors = append(r.Errors, fmt.Errorf("axiom [%s] rhs %s: %w", ax.Label, rhs, err))
-				return r
+				outcomes[i] = outcome{fatal: fmt.Errorf("axiom [%s] rhs %s: %w", it.ax.Label, it.rhs, err)}
+				continue
 			}
-			eq, err := h.equal(ax.LHS.Sort, lv, rv, cfg.ObsDepth)
+			eq, err := h.equal(it.ax.LHS.Sort, lv, rv, cfg.ObsDepth)
 			if err != nil {
-				r.Errors = append(r.Errors, fmt.Errorf("axiom [%s] compare: %w", ax.Label, err))
-				return r
+				outcomes[i] = outcome{fatal: fmt.Errorf("axiom [%s] compare: %w", it.ax.Label, err)}
+				continue
 			}
 			if !eq {
-				r.Failures = append(r.Failures, Failure{
-					Axiom:    ax.Label,
-					Instance: lhs,
+				outcomes[i] = outcome{failure: &Failure{
+					Axiom:    it.ax.Label,
+					Instance: it.lhs,
 					Want:     fmt.Sprint(rv),
 					Got:      fmt.Sprint(lv),
-				})
+				}}
 			}
+		}
+	})
+
+	for i := range outcomes {
+		r.Checked++
+		if outcomes[i].fatal != nil {
+			r.Errors = append(r.Errors, outcomes[i].fatal)
+			return r
+		}
+		if outcomes[i].failure != nil {
+			r.Failures = append(r.Failures, *outcomes[i].failure)
 		}
 	}
 	return r
@@ -396,16 +439,24 @@ func applyAssignment(t *term.Term, inst map[string]*term.Term) *term.Term {
 // interpretation on every ground observer term up to the depth bound:
 // for each operation with an observable (reifiable) range, the term's
 // rewrite normal form must equal the reified implementation value.
+// Observer terms are sharded across workers (each normalizing through a
+// forked rewrite system) and outcomes merged in term order; merging stops
+// at the first adapter error, reproducing the sequential early-return
+// report for any worker count.
 func CheckAgainstSpec(sp *spec.Spec, impl *Impl, cfg Config) *Report {
 	cfg.fill()
 	r := &Report{Spec: sp.Name}
 	h := &harness{sp: sp, impl: impl, cfg: cfg, g: gen.New(sp, cfg.Gen)}
-	sys := rewrite.New(sp)
+	base := cfg.System
+	if base == nil {
+		base = rewrite.New(sp)
+	}
 
 	observable := func(so sig.Sort) bool {
 		return so == sig.BoolSort || sp.Sig.IsAtomSort(so) || sp.Sig.IsParam(so)
 	}
 
+	var items []*term.Term
 	for _, op := range sp.Sig.Ops() {
 		if op.Native || !observable(op.Range) || sp.IsConstructor(op.Name) {
 			continue
@@ -420,38 +471,66 @@ func CheckAgainstSpec(sp *spec.Spec, impl *Impl, cfg Config) *Report {
 			for i, v := range vars {
 				args[i] = inst[v.Sym]
 			}
-			t := term.NewOp(op.Name, op.Range, args...)
-			r.Checked++
+			items = append(items, term.NewOp(op.Name, op.Range, args...))
+		}
+	}
+
+	type outcome struct {
+		failure *Failure
+		soft    error // normalization failure: recorded, then move on
+		fatal   error // adapter failure: abort the merge
+	}
+	outcomes := make([]outcome, len(items))
+	par.ForEach(len(items), cfg.Workers, func(w, lo, hi int) {
+		sys := base.Fork()
+		for i := lo; i < hi; i++ {
+			t := items[i]
 			nf, err := sys.Normalize(t)
 			if err != nil {
-				r.Errors = append(r.Errors, fmt.Errorf("%s: %w", t, err))
+				outcomes[i] = outcome{soft: fmt.Errorf("%s: %w", t, err)}
 				continue
 			}
 			iv, err := h.Eval(t)
 			if err != nil {
-				r.Errors = append(r.Errors, fmt.Errorf("%s: %w", t, err))
-				return r
+				outcomes[i] = outcome{fatal: fmt.Errorf("%s: %w", t, err)}
+				continue
 			}
 			var got string
 			switch {
 			case IsErr(iv):
 				got = term.ErrName
 			default:
-				rt, ok, err := impl.Reify(op.Range, iv)
+				rt, ok, err := impl.Reify(t.Sort, iv)
 				if err != nil {
-					r.Errors = append(r.Errors, fmt.Errorf("%s: %w", t, err))
-					return r
+					outcomes[i] = outcome{fatal: fmt.Errorf("%s: %w", t, err)}
+					continue
 				}
 				if !ok {
-					r.Errors = append(r.Errors, fmt.Errorf("%s: range %s not reifiable", t, op.Range))
-					return r
+					outcomes[i] = outcome{fatal: fmt.Errorf("%s: range %s not reifiable", t, t.Sort)}
+					continue
 				}
 				got = rt.String()
 			}
 			want := nf.String()
 			if got != want {
-				r.Failures = append(r.Failures, Failure{Instance: t, Want: want, Got: got})
+				outcomes[i] = outcome{failure: &Failure{Instance: t, Want: want, Got: got}}
 			}
+		}
+	})
+
+	for i := range outcomes {
+		r.Checked++
+		o := outcomes[i]
+		if o.soft != nil {
+			r.Errors = append(r.Errors, o.soft)
+			continue
+		}
+		if o.fatal != nil {
+			r.Errors = append(r.Errors, o.fatal)
+			return r
+		}
+		if o.failure != nil {
+			r.Failures = append(r.Failures, *o.failure)
 		}
 	}
 	return r

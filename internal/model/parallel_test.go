@@ -1,0 +1,87 @@
+package model_test
+
+import (
+	"testing"
+
+	"algspec/internal/adt/adapters"
+	"algspec/internal/adt/queue"
+	"algspec/internal/model"
+	"algspec/internal/speclib"
+)
+
+// Both model checks must produce identical reports for any worker count.
+// The bundled adapters are persistent-value implementations, so they meet
+// Impl's concurrency contract; run with -race to enforce it.
+func TestModelChecksParallelDeterministic(t *testing.T) {
+	env := speclib.BaseEnv()
+	cases := []struct {
+		spec string
+		impl *model.Impl
+	}{
+		{"Queue", adapters.Queue(env.MustGet("Queue"))},
+		{"Stack", adapters.Stack(env.MustGet("Stack"))},
+	}
+	for _, c := range cases {
+		sp := env.MustGet(c.spec)
+		base := model.Config{Depth: 3, MaxInstancesPerAxiom: 300}
+
+		seqCfg, parCfg := base, base
+		seqCfg.Workers, parCfg.Workers = 1, 4
+
+		seqA := model.CheckAxioms(sp, c.impl, seqCfg)
+		parA := model.CheckAxioms(sp, c.impl, parCfg)
+		if seqA.String() != parA.String() {
+			t.Errorf("%s axioms: reports differ between 1 and 4 workers:\n%s\nvs\n%s", c.spec, seqA, parA)
+		}
+		if seqA.Checked == 0 {
+			t.Errorf("%s axioms: nothing checked", c.spec)
+		}
+
+		seqG := model.CheckAgainstSpec(sp, c.impl, seqCfg)
+		parG := model.CheckAgainstSpec(sp, c.impl, parCfg)
+		if seqG.String() != parG.String() {
+			t.Errorf("%s agreement: reports differ between 1 and 4 workers:\n%s\nvs\n%s", c.spec, seqG, parG)
+		}
+		if seqG.Checked == 0 {
+			t.Errorf("%s agreement: nothing checked", c.spec)
+		}
+	}
+}
+
+// A buggy implementation fails identically under any worker count: same
+// failures, same deterministic order.
+func TestModelParallelFailuresDeterministic(t *testing.T) {
+	env := speclib.BaseEnv()
+	sp := env.MustGet("Queue")
+	impl := adapters.Queue(sp)
+	goodApply := impl.Apply
+	impl.Apply = func(op string, args []model.Value) (model.Value, error) {
+		if op == "front" {
+			q := args[0].(queue.Queue[string])
+			s := q.Slice()
+			if len(s) == 0 {
+				return model.ErrValue, nil
+			}
+			return s[len(s)-1], nil // LIFO bug
+		}
+		return goodApply(op, args)
+	}
+
+	seqCfg := model.Config{Depth: 3, MaxInstancesPerAxiom: 300, Workers: 1}
+	parCfg := seqCfg
+	parCfg.Workers = 4
+
+	seq := model.CheckAxioms(sp, impl, seqCfg)
+	parl := model.CheckAxioms(sp, impl, parCfg)
+	if seq.OK() || parl.OK() {
+		t.Fatal("buggy queue must fail the axiom check")
+	}
+	if len(seq.Failures) != len(parl.Failures) {
+		t.Fatalf("failure counts differ: %d vs %d", len(seq.Failures), len(parl.Failures))
+	}
+	for i := range seq.Failures {
+		if seq.Failures[i].String() != parl.Failures[i].String() {
+			t.Errorf("failure %d differs: %s vs %s", i, seq.Failures[i], parl.Failures[i])
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Package par provides the sharding helper shared by the parallel checker
+// drivers. A driver builds a deterministic list of work items, shards it
+// into contiguous chunks — one per worker — and merges the per-worker
+// results in index order, so the report a checker produces is identical
+// regardless of worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a configured worker count: values <= 0 mean
+// runtime.GOMAXPROCS(0), and the count is never more than n (no point
+// spinning up workers with no items).
+func Workers(cfg, n int) int {
+	w := cfg
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn concurrently on contiguous chunks of [0, n): worker w
+// receives its worker index and the half-open item range [lo, hi). Chunks
+// differ in size by at most one item and preserve order, so results
+// written to slot i of a pre-sized results slice come out in the same
+// order a sequential loop would produce. ForEach blocks until all workers
+// return.
+func ForEach(n, workers int, fn func(w, lo, hi int)) {
+	workers = Workers(workers, n)
+	if n <= 0 {
+		return
+	}
+	if workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := n / workers
+	rem := n % workers
+	var wg sync.WaitGroup
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + chunk
+		if w < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}

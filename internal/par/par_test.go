@@ -1,0 +1,67 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0, 100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Fatalf("Workers(8, 3) = %d, want 3 (capped at item count)", got)
+	}
+	if got := Workers(-1, 0); got != 1 {
+		t.Fatalf("Workers(-1, 0) = %d, want 1", got)
+	}
+}
+
+func TestForEachCoversExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 16, 17, 100} {
+		for _, w := range []int{1, 2, 4, 7, 200} {
+			seen := make([]int32, n)
+			ForEach(n, w, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d w=%d: item %d visited %d times", n, w, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachChunksAreOrdered(t *testing.T) {
+	type rng struct{ w, lo, hi int }
+	var mu chan rng = make(chan rng, 16)
+	ForEach(10, 3, func(w, lo, hi int) { mu <- rng{w, lo, hi} })
+	close(mu)
+	got := make([]rng, 0, 3)
+	for r := range mu {
+		got = append(got, r)
+	}
+	if len(got) != 3 {
+		t.Fatalf("expected 3 chunks, got %d", len(got))
+	}
+	// Chunk w's range must start where chunk w-1 ended.
+	bounds := make(map[int][2]int)
+	for _, r := range got {
+		bounds[r.w] = [2]int{r.lo, r.hi}
+	}
+	want := 0
+	for w := 0; w < 3; w++ {
+		b := bounds[w]
+		if b[0] != want {
+			t.Fatalf("worker %d starts at %d, want %d", w, b[0], want)
+		}
+		want = b[1]
+	}
+	if want != 10 {
+		t.Fatalf("chunks end at %d, want 10", want)
+	}
+}

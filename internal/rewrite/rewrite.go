@@ -14,6 +14,13 @@
 // Operations declared native are evaluated by Go functions registered with
 // the engine (atom equality and atom hashing), covering the paper's
 // independently defined IS_SAME? and HASH operations on type Identifier.
+//
+// A System separates the immutable compiled form of a specification (rule
+// list, head-symbol index, shared term interner) from mutable evaluation
+// state (fuel accounting, memo table, statistics). Fork creates a sibling
+// System over the same compiled form in O(1)ish time; parallel checker
+// drivers fork one System per worker because the mutable state must not
+// be shared between goroutines.
 package rewrite
 
 import (
@@ -91,6 +98,44 @@ type TraceStep struct {
 	After  *term.Term
 }
 
+// Stats counts the work a System has performed since it was created,
+// forked, or last reset. Steps is the fuel counter (every rule fire,
+// native call and if/error reduction); the remaining counters break the
+// total down for the CLI's --stats report and the benchmarks.
+type Stats struct {
+	// Steps is the total number of reductions (rule applications, native
+	// evaluations and if/error special-form reductions).
+	Steps int
+	// RuleFires counts axiom applications.
+	RuleFires int
+	// MemoHits counts ground subterms answered from the memo table.
+	MemoHits int
+	// NativeCalls counts native (Go-implemented) operation evaluations.
+	NativeCalls int
+}
+
+// Add returns the component-wise sum of two Stats (used by parallel
+// drivers to merge per-worker counters deterministically).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Steps:       s.Steps + o.Steps,
+		RuleFires:   s.RuleFires + o.RuleFires,
+		MemoHits:    s.MemoHits + o.MemoHits,
+		NativeCalls: s.NativeCalls + o.NativeCalls,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("steps=%d rule-fires=%d memo-hits=%d native-calls=%d",
+		s.Steps, s.RuleFires, s.MemoHits, s.NativeCalls)
+}
+
+// DefaultMemoLimit is the memo table's eviction bound: once the table
+// holds more entries than this, it is discarded and rebuilt from empty
+// (bounding memory on long-lived systems at the cost of re-deriving
+// normal forms).
+const DefaultMemoLimit = 1 << 18
+
 // Option configures a System.
 type Option func(*System)
 
@@ -110,25 +155,66 @@ func WithNative(op string, f NativeFunc) Option {
 	return func(sys *System) { sys.native[op] = f }
 }
 
-// WithRuleOrder disables head-symbol indexing, forcing a linear scan over
-// all rules at every redex. Exists only for the ablation benchmark.
+// WithoutRuleIndex disables head-symbol indexing, forcing a linear scan
+// over all rules at every redex. Exists only for the ablation benchmark.
 func WithoutRuleIndex() Option { return func(sys *System) { sys.noIndex = true } }
 
-// WithMemo enables memoization of normal forms for ground subterms.
-func WithMemo() Option { return func(sys *System) { sys.memo = make(map[uint64]*term.Term) } }
+// WithMemo enables memoization of normal forms for ground subterms. The
+// memo is keyed by hash-consed (pointer-canonical) terms from the
+// system's interner, so structurally distinct terms can never collide on
+// an entry. Memory is bounded by an eviction policy: when the table
+// exceeds its bound (DefaultMemoLimit entries unless overridden with
+// WithMemoLimit), the whole table is dropped and rebuilt from empty.
+func WithMemo() Option {
+	return func(sys *System) { sys.memo = make(map[*term.Term]*term.Term) }
+}
 
-// System is a compiled rewrite system for one specification.
+// WithMemoLimit sets the memo table's eviction bound (entries). It
+// implies WithMemo. A small limit is useful in tests exercising the
+// eviction path and on memory-constrained workloads.
+func WithMemoLimit(n int) Option {
+	return func(sys *System) {
+		sys.memoLimit = n
+		if sys.memo == nil {
+			sys.memo = make(map[*term.Term]*term.Term)
+		}
+	}
+}
+
+// WithInterner makes the system hash-cons into the given interner instead
+// of a private one, so canonical terms (and memo identity) are shared
+// with other systems or a generator.
+func WithInterner(in *term.Interner) Option {
+	return func(sys *System) { sys.intern = in }
+}
+
+// program is the immutable compiled form of a specification, shared by
+// every System forked from the same New call.
+type program struct {
+	sp    *spec.Spec
+	rules []Rule
+	index map[string][]int // head symbol -> rule indices, in priority order
+}
+
+// System is a compiled rewrite system for one specification. A System is
+// stateful (fuel accounting, memo table, statistics) and therefore NOT
+// safe for concurrent use; call Fork to get an independent sibling over
+// the same compiled rules for each goroutine.
 type System struct {
-	sp       *spec.Spec
-	rules    []Rule
-	index    map[string][]int // head symbol -> rule indices, in priority order
+	prog     *program
 	native   map[string]NativeFunc
 	strategy Strategy
 	maxSteps int
-	steps    int
-	trace    func(TraceStep)
 	noIndex  bool
-	memo     map[uint64]*term.Term
+	trace    func(TraceStep)
+
+	intern    *term.Interner
+	memo      map[*term.Term]*term.Term
+	memoLimit int
+
+	stats Stats
+	// bindBuf is the reusable binding buffer for the matching hot path.
+	bindBuf subst.Bindings
 	// active and budget implement the per-call fuel limit: the budget is
 	// set when an outermost Normalize begins and left alone by the
 	// nested Normalize calls the conditional's lazy semantics makes
@@ -145,12 +231,9 @@ type System struct {
 // the paper's practice of listing the general case after the specific).
 func New(sp *spec.Spec, opts ...Option) *System {
 	sys := &System{
-		sp:       sp,
-		native:   make(map[string]NativeFunc),
-		maxSteps: 1 << 20,
-	}
-	for _, a := range sp.All {
-		sys.rules = append(sys.rules, Rule{Label: a.Label, Owner: a.Owner, LHS: a.LHS, RHS: a.RHS})
+		native:    make(map[string]NativeFunc),
+		maxSteps:  1 << 20,
+		memoLimit: DefaultMemoLimit,
 	}
 	// Default natives: same?/isSame?-style equality and hash on atoms.
 	for _, op := range sp.Sig.Ops() {
@@ -164,11 +247,53 @@ func New(sp *spec.Spec, opts ...Option) *System {
 	for _, o := range opts {
 		o(sys)
 	}
-	sys.index = make(map[string][]int)
-	for i, r := range sys.rules {
-		sys.index[r.LHS.Sym] = append(sys.index[r.LHS.Sym], i)
+	if sys.intern == nil {
+		sys.intern = term.NewInterner()
 	}
+	prog := &program{sp: sp, index: make(map[string][]int)}
+	for _, a := range sp.All {
+		// Rules are stored hash-consed so substitution results built from
+		// them stay canonical on the memoized path.
+		prog.rules = append(prog.rules, Rule{
+			Label: a.Label,
+			Owner: a.Owner,
+			LHS:   sys.intern.Canon(a.LHS),
+			RHS:   sys.intern.Canon(a.RHS),
+		})
+	}
+	for i, r := range prog.rules {
+		prog.index[r.LHS.Sym] = append(prog.index[r.LHS.Sym], i)
+	}
+	sys.prog = prog
 	return sys
+}
+
+// Fork returns an independent System over the same compiled rules, rule
+// index and interner, with fresh mutable state (zero Stats, empty memo if
+// memoization was enabled, no trace listener). Options may adjust the
+// fork, e.g. WithStrategy for a different evaluation order. Fork is how
+// parallel checker drivers give each worker goroutine its own engine
+// without recompiling the specification.
+func (s *System) Fork(opts ...Option) *System {
+	ns := &System{
+		prog:      s.prog,
+		native:    make(map[string]NativeFunc, len(s.native)),
+		strategy:  s.strategy,
+		maxSteps:  s.maxSteps,
+		noIndex:   s.noIndex,
+		intern:    s.intern,
+		memoLimit: s.memoLimit,
+	}
+	for k, v := range s.native {
+		ns.native[k] = v
+	}
+	if s.memo != nil {
+		ns.memo = make(map[*term.Term]*term.Term)
+	}
+	for _, o := range opts {
+		o(ns)
+	}
+	return ns
 }
 
 // defaultNative supplies engine-level semantics for the conventional
@@ -238,21 +363,29 @@ func HashAtomMod(n int, bucket func(k int) *term.Term) NativeFunc {
 }
 
 // Spec returns the specification the system was compiled from.
-func (s *System) Spec() *spec.Spec { return s.sp }
+func (s *System) Spec() *spec.Spec { return s.prog.sp }
 
 // Rules returns the compiled rules in priority order.
 func (s *System) Rules() []Rule {
-	out := make([]Rule, len(s.rules))
-	copy(out, s.rules)
+	out := make([]Rule, len(s.prog.rules))
+	copy(out, s.prog.rules)
 	return out
 }
 
-// Steps reports the number of rule applications performed since the last
-// ResetSteps. Native evaluations and if-reductions count as steps.
-func (s *System) Steps() int { return s.steps }
+// Interner returns the interner this system hash-conses into (shared
+// across Forks).
+func (s *System) Interner() *term.Interner { return s.intern }
 
-// ResetSteps zeroes the step counter.
-func (s *System) ResetSteps() { s.steps = 0 }
+// Stats returns the work counters accumulated since the system was
+// created, forked, or last reset.
+func (s *System) Stats() Stats { return s.stats }
+
+// Steps reports the number of reductions performed since the last
+// ResetSteps. Native evaluations and if-reductions count as steps.
+func (s *System) Steps() int { return s.stats.Steps }
+
+// ResetSteps zeroes all work counters (Stats included).
+func (s *System) ResetSteps() { s.stats = Stats{} }
 
 // Normalize rewrites the term to normal form. Ground terms over a
 // sufficiently complete, consistent specification reach a unique
@@ -263,16 +396,8 @@ func (s *System) ResetSteps() { s.steps = 0 }
 func (s *System) Normalize(t *term.Term) (*term.Term, error) {
 	if !s.active {
 		s.active = true
-		s.budget = s.steps + s.maxSteps
+		s.budget = s.stats.Steps + s.maxSteps
 		defer func() { s.active = false }()
-	}
-	if s.memo != nil {
-		defer func() {
-			// Bound memory: drop the memo table if it grows very large.
-			if len(s.memo) > 1<<18 {
-				s.memo = make(map[uint64]*term.Term)
-			}
-		}()
 	}
 	switch s.strategy {
 	case Outermost:
@@ -292,8 +417,8 @@ func (s *System) MustNormalize(t *term.Term) *term.Term {
 }
 
 func (s *System) spend(last *term.Term) error {
-	s.steps++
-	if s.steps > s.budget {
+	s.stats.Steps++
+	if s.stats.Steps > s.budget {
 		return &ErrFuel{Steps: s.maxSteps, Last: last}
 	}
 	return nil
@@ -311,25 +436,28 @@ func (s *System) normalizeInnermost(t *term.Term) (*term.Term, error) {
 		return s.reduceIf(t)
 	}
 
-	var memoKey uint64
+	// The memo is keyed by the canonical (hash-consed) node, so two
+	// structurally distinct terms can never share an entry; the interner
+	// resolves bucket collisions structurally before handing out an
+	// identity. Canon is O(1) once a term is interned, and results are
+	// stored interned, so steady-state probes touch no structure.
+	var memoKey *term.Term
 	if s.memo != nil && t.IsGround() {
-		memoKey = t.Hash()
+		memoKey = s.intern.Canon(t)
 		if nf, ok := s.memo[memoKey]; ok {
+			s.stats.MemoHits++
 			return nf, nil
 		}
+		t = memoKey // canonical args make child memo probes O(1)
 	}
 
-	// Normalize arguments first.
-	args := make([]*term.Term, len(t.Args))
-	changed := false
+	// Normalize arguments first, copying the argument vector only when
+	// some argument actually changed.
+	var args []*term.Term
 	for i, a := range t.Args {
 		na, err := s.normalizeInnermost(a)
 		if err != nil {
 			return nil, err
-		}
-		args[i] = na
-		if na != a {
-			changed = true
 		}
 		if na.IsErr() {
 			// Strictness: short-circuit the remaining arguments.
@@ -338,17 +466,34 @@ func (s *System) normalizeInnermost(t *term.Term) (*term.Term, error) {
 			}
 			return term.NewErr(t.Sort), nil
 		}
+		if args == nil && na != a {
+			args = make([]*term.Term, len(t.Args))
+			copy(args, t.Args[:i])
+		}
+		if args != nil {
+			args[i] = na
+		}
 	}
 	cur := t
-	if changed {
-		cur = &term.Term{Kind: term.Op, Sym: t.Sym, Sort: t.Sort, Args: args}
+	if args != nil {
+		if memoKey != nil {
+			cur = s.intern.OpTerms(t.Sym, t.Sort, args)
+		} else {
+			cur = &term.Term{Kind: term.Op, Sym: t.Sym, Sort: t.Sort, Args: args}
+		}
 	}
 
 	nf, err := s.rootThenRecurse(cur)
 	if err != nil {
 		return nil, err
 	}
-	if s.memo != nil && memoKey != 0 {
+	if memoKey != nil {
+		nf = s.intern.Canon(nf)
+		if len(s.memo) >= s.memoLimit {
+			// Bound memory: drop the memo table once it reaches the
+			// eviction bound and start over.
+			s.memo = make(map[*term.Term]*term.Term)
+		}
 		s.memo[memoKey] = nf
 	}
 	return nf, nil
@@ -373,6 +518,7 @@ func (s *System) stepRoot(cur *term.Term) (*term.Term, bool, error) {
 			if err := s.spend(cur); err != nil {
 				return nil, false, err
 			}
+			s.stats.NativeCalls++
 			if s.trace != nil {
 				s.trace(TraceStep{Rule: Rule{Label: "native:" + cur.Sym}, Before: cur, After: out})
 			}
@@ -380,17 +526,24 @@ func (s *System) stepRoot(cur *term.Term) (*term.Term, bool, error) {
 		}
 	}
 	for _, ri := range s.candidates(cur.Sym) {
-		r := s.rules[ri]
-		m := subst.TryMatch(r.LHS, cur)
-		if m == nil {
+		r := &s.prog.rules[ri]
+		b, ok := subst.MatchBind(r.LHS, cur, s.bindBuf[:0])
+		s.bindBuf = b // keep the (possibly grown) buffer for reuse
+		if !ok {
 			continue
 		}
 		if err := s.spend(cur); err != nil {
 			return nil, false, err
 		}
-		out := m.Apply(r.RHS)
+		s.stats.RuleFires++
+		var out *term.Term
+		if s.memo != nil {
+			out = b.Build(s.intern, r.RHS)
+		} else {
+			out = b.Build(nil, r.RHS)
+		}
 		if s.trace != nil {
-			s.trace(TraceStep{Rule: r, Before: cur, After: out})
+			s.trace(TraceStep{Rule: *r, Before: cur, After: out})
 		}
 		return out, true, nil
 	}
@@ -399,13 +552,13 @@ func (s *System) stepRoot(cur *term.Term) (*term.Term, bool, error) {
 
 func (s *System) candidates(head string) []int {
 	if s.noIndex {
-		all := make([]int, len(s.rules))
-		for i := range s.rules {
+		all := make([]int, len(s.prog.rules))
+		for i := range all {
 			all[i] = i
 		}
 		return all
 	}
-	return s.index[head]
+	return s.prog.index[head]
 }
 
 // reduceIf gives the conditional its lazy semantics.

@@ -1,0 +1,92 @@
+package rewrite_test
+
+import (
+	"testing"
+
+	"algspec/internal/rewrite"
+	"algspec/internal/speclib"
+	"algspec/internal/term"
+)
+
+// Error strictness under the outermost strategy: an error anywhere in an
+// operation's arguments — even nested — collapses the whole term to
+// error, exactly as under innermost (the paper's single error convention
+// is strategy-independent).
+func TestOutermostErrorStrictness(t *testing.T) {
+	env := speclib.BaseEnv()
+	sys := rewrite.New(env.MustGet("Queue"), rewrite.WithStrategy(rewrite.Outermost))
+
+	// remove(new) = error at the root...
+	direct := term.NewOp("remove", "Queue", term.NewOp("new", "Queue"))
+	if nf := sys.MustNormalize(direct); !nf.IsErr() {
+		t.Fatalf("remove(new) = %s, want error", nf)
+	}
+	// ...and the error must propagate strictly through enclosing
+	// operations once the argument reduces to it.
+	nested := term.NewOp("front", "Item",
+		term.NewOp("add", "Queue",
+			term.NewOp("remove", "Queue", term.NewOp("new", "Queue")),
+			term.NewAtom("x", "Item")))
+	if nf := sys.MustNormalize(nested); !nf.IsErr() {
+		t.Fatalf("front(add(remove(new), 'x)) = %s, want error", nf)
+	}
+	// A literal error argument short-circuits without any rule firing.
+	sys.ResetSteps()
+	lit := term.NewOp("isEmpty?", "Bool", term.NewErr("Queue"))
+	if nf := sys.MustNormalize(lit); !nf.IsErr() {
+		t.Fatalf("isEmpty?(error) = %s, want error", nf)
+	}
+	st := sys.Stats()
+	if st.RuleFires != 0 {
+		t.Fatalf("error propagation fired %d rules, want 0", st.RuleFires)
+	}
+	if st.Steps == 0 {
+		t.Fatal("error propagation must still consume fuel")
+	}
+	// An error condition makes the whole conditional error.
+	iff := term.NewIf(term.NewErr("Bool"),
+		term.NewOp("new", "Queue"), term.NewOp("new", "Queue"))
+	iff.Sort = "Queue"
+	if nf := sys.MustNormalize(iff); !nf.IsErr() {
+		t.Fatalf("if(error,...) = %s, want error", nf)
+	}
+}
+
+// WithMemoLimit triggers the eviction path at a tiny bound: the table is
+// dropped and rebuilt, and every normal form stays correct across the
+// reset (the regression guard for the `len(memo) >= limit` branch that
+// the default 1<<18 bound makes unreachable in unit tests).
+func TestMemoEvictionBound(t *testing.T) {
+	env := speclib.BaseEnv()
+	sp := env.MustGet("Nat")
+	limited := rewrite.New(sp, rewrite.WithMemoLimit(8))
+	plain := rewrite.New(sp)
+	for i := 0; i < 40; i++ {
+		n := term.NewOp("zero", "Nat")
+		for j := 0; j < i%10; j++ {
+			n = term.NewOp("succ", "Nat", n)
+		}
+		work := term.NewOp("addN", "Nat", n, term.NewOp("succ", "Nat", n))
+		got := limited.MustNormalize(work)
+		want := plain.MustNormalize(work)
+		if !got.Equal(want) {
+			t.Fatalf("round %d: memo-limited engine got %s, want %s", i, got, want)
+		}
+	}
+	if limited.Stats().MemoHits == 0 {
+		t.Fatal("memo never hit despite repeated workloads")
+	}
+}
+
+// WithMemoLimit implies WithMemo.
+func TestMemoLimitImpliesMemo(t *testing.T) {
+	env := speclib.BaseEnv()
+	sys := rewrite.New(env.MustGet("Nat"), rewrite.WithMemoLimit(64))
+	n := term.NewOp("succ", "Nat", term.NewOp("zero", "Nat"))
+	work := term.NewOp("addN", "Nat", n, n)
+	sys.MustNormalize(work)
+	sys.MustNormalize(work)
+	if sys.Stats().MemoHits == 0 {
+		t.Fatal("WithMemoLimit alone did not enable memoization")
+	}
+}

@@ -52,7 +52,12 @@ func (s Subst) Bind(v string, t *term.Term) error {
 // Apply replaces every variable in t that the substitution binds.
 // Unbound variables are left in place. Subterms without bound variables
 // are shared, not copied.
-func (s Subst) Apply(t *term.Term) *term.Term {
+func (s Subst) Apply(t *term.Term) *term.Term { return s.ApplyIn(nil, t) }
+
+// ApplyIn is Apply building every rebuilt node through the interner when
+// in is non-nil: applying a substitution of interned terms to an
+// interned pattern then yields a fully canonical (hash-consed) result.
+func (s Subst) ApplyIn(in *term.Interner, t *term.Term) *term.Term {
 	switch t.Kind {
 	case term.Var:
 		if b, ok := s[t.Sym]; ok {
@@ -65,13 +70,16 @@ func (s Subst) Apply(t *term.Term) *term.Term {
 		changed := false
 		args := make([]*term.Term, len(t.Args))
 		for i, a := range t.Args {
-			args[i] = s.Apply(a)
+			args[i] = s.ApplyIn(in, a)
 			if args[i] != a {
 				changed = true
 			}
 		}
 		if !changed {
 			return t
+		}
+		if in != nil {
+			return in.OpTerms(t.Sym, t.Sort, args)
 		}
 		return &term.Term{Kind: t.Kind, Sym: t.Sym, Sort: t.Sort, Args: args}
 	}

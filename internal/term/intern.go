@@ -1,0 +1,232 @@
+// Hash-consing for the term algebra. An Interner owns a universe of
+// canonical ("interned") terms in which structural equality coincides
+// with pointer equality: interning the same shape twice returns the same
+// *Term. This gives the rewrite engine an O(1) Equal on its hot path and
+// a collision-proof identity key for its memo table — the memo was
+// previously keyed on a raw structural hash, and a hash collision
+// silently returned the wrong normal form.
+//
+// Interned terms are immutable like all terms, so they may be shared
+// freely between goroutines; the Interner itself is safe for concurrent
+// use and is shared by the Systems a parallel checker driver forks.
+package term
+
+import (
+	"sync"
+	"unsafe"
+
+	"algspec/internal/sig"
+)
+
+// Interner hash-conses terms: canonical nodes are unique per structure,
+// so two terms interned by the same Interner are structurally equal
+// exactly when they are pointer-equal. The zero value is not usable;
+// call NewInterner. All methods are safe for concurrent use.
+type Interner struct {
+	mu      sync.RWMutex
+	buckets map[uint64][]*Term
+	n       int
+	// hashNode computes the bucket key of a prospective node whose
+	// arguments are already canonical. Overridable by tests to force
+	// bucket collisions (the regression test for the memo-collision bug);
+	// collisions are always resolved by the structural scan in lookup, so
+	// a colliding hash degrades speed, never correctness.
+	hashNode func(k Kind, sym string, sort sig.Sort, args []*Term) uint64
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{
+		buckets:  make(map[uint64][]*Term),
+		hashNode: defaultNodeHash,
+	}
+}
+
+// defaultNodeHash is an FNV-1a over the node's own fields plus the
+// identities of its (canonical) arguments. Argument pointers are a sound
+// hash input because canonical arguments are unique per structure.
+func defaultNodeHash(k Kind, sym string, sort sig.Sort, args []*Term) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(k)) * prime64
+	for i := 0; i < len(sym); i++ {
+		h = (h ^ uint64(sym[i])) * prime64
+	}
+	h = (h ^ 0xff) * prime64
+	if k != Err { // all errors hash (and compare) alike at the node level
+		for i := 0; i < len(sort); i++ {
+			h = (h ^ uint64(sort[i])) * prime64
+		}
+	}
+	for _, a := range args {
+		p := uintptr2u64(a)
+		for s := 0; s < 64; s += 8 {
+			h = (h ^ (p >> s & 0xff)) * prime64
+		}
+	}
+	return h
+}
+
+// uintptr2u64 widens a term pointer to a hashable integer. The pointer
+// value is the identity of a canonical node; it is only ever used
+// in-process and never persisted.
+func uintptr2u64(t *Term) uint64 {
+	return uint64(uintptr(unsafe.Pointer(t)))
+}
+
+// nodeEq reports whether an existing canonical node has exactly the given
+// shape. Arguments are compared by pointer: they are canonical, so
+// pointer equality is structural equality.
+func nodeEq(t *Term, k Kind, sym string, sort sig.Sort, args []*Term) bool {
+	if t.Kind != k || len(t.Args) != len(args) {
+		return false
+	}
+	if k != Err && (t.Sym != sym || t.Sort != sort) {
+		return false
+	}
+	for i := range args {
+		if t.Args[i] != args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// node interns one term node whose arguments are already canonical in
+// this interner. When owned is true the args slice is transferred to the
+// interner; otherwise it is copied before being retained.
+func (in *Interner) node(k Kind, sym string, sort sig.Sort, args []*Term, owned bool) *Term {
+	h := in.hashNode(k, sym, sort, args)
+	in.mu.RLock()
+	for _, c := range in.buckets[h] {
+		if nodeEq(c, k, sym, sort, args) {
+			in.mu.RUnlock()
+			return c
+		}
+	}
+	in.mu.RUnlock()
+
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	// Re-check: another goroutine may have interned the node between the
+	// read unlock and the write lock.
+	for _, c := range in.buckets[h] {
+		if nodeEq(c, k, sym, sort, args) {
+			return c
+		}
+	}
+	if len(args) > 0 && !owned {
+		cp := make([]*Term, len(args))
+		copy(cp, args)
+		args = cp
+	}
+	ground := k != Var
+	for _, a := range args {
+		if !a.ground {
+			ground = false
+			break
+		}
+	}
+	t := &Term{Kind: k, Sym: sym, Sort: sort, Args: args, owner: in, ground: ground}
+	in.buckets[h] = append(in.buckets[h], t)
+	in.n++
+	return t
+}
+
+// canonArgs returns a canonical version of args, reusing the input slice
+// contents when every element is already canonical. The returned bool
+// reports whether the result is a fresh slice the interner may own.
+func (in *Interner) canonArgs(args []*Term) ([]*Term, bool) {
+	for i, a := range args {
+		if a.owner == in {
+			continue
+		}
+		cp := make([]*Term, len(args))
+		copy(cp, args[:i])
+		for j := i; j < len(args); j++ {
+			cp[j] = in.Canon(args[j])
+		}
+		return cp, true
+	}
+	return args, false
+}
+
+// Op interns an operation application. Arguments from other interners (or
+// none) are canonicalized first.
+func (in *Interner) Op(name string, sort sig.Sort, args ...*Term) *Term {
+	ca, owned := in.canonArgs(args)
+	return in.node(Op, name, sort, ca, owned)
+}
+
+// OpTerms is Op taking an argument slice the interner may retain; callers
+// must not reuse the slice afterwards. It exists so bulk generators can
+// intern without a defensive copy per term.
+func (in *Interner) OpTerms(name string, sort sig.Sort, args []*Term) *Term {
+	ca, _ := in.canonArgs(args)
+	return in.node(Op, name, sort, ca, true)
+}
+
+// Var interns a typed free variable.
+func (in *Interner) Var(name string, sort sig.Sort) *Term {
+	return in.node(Var, name, sort, nil, true)
+}
+
+// Atom interns an atom literal.
+func (in *Interner) Atom(spelling string, sort sig.Sort) *Term {
+	return in.node(Atom, spelling, sort, nil, true)
+}
+
+// Err interns the distinguished error value. The paper has a single
+// error value, so all error nodes collapse onto one canonical node per
+// interner regardless of the sort the error arose at (the node keeps the
+// sort it was first interned with).
+func (in *Interner) Err(sort sig.Sort) *Term {
+	return in.node(Err, ErrName, sort, nil, true)
+}
+
+// If interns a conditional; its sort is the sort of the then-branch.
+func (in *Interner) If(cond, then, els *Term) *Term {
+	return in.Op(IfOp, then.Sort, cond, then, els)
+}
+
+// Bool interns the boolean constant for b.
+func (in *Interner) Bool(b bool) *Term {
+	if b {
+		return in.node(Op, TrueOp, sig.BoolSort, nil, true)
+	}
+	return in.node(Op, FalseOp, sig.BoolSort, nil, true)
+}
+
+// Canon returns the canonical interned equivalent of t, interning every
+// subterm. Terms already owned by this interner are returned unchanged in
+// O(1); that makes Canon cheap on rewrite hot paths where results are
+// built from interned pieces.
+func (in *Interner) Canon(t *Term) *Term {
+	if t == nil {
+		return nil
+	}
+	if t.owner == in {
+		return t
+	}
+	if len(t.Args) == 0 {
+		return in.node(t.Kind, t.Sym, t.Sort, nil, true)
+	}
+	args := make([]*Term, len(t.Args))
+	for i, a := range t.Args {
+		args[i] = in.Canon(a)
+	}
+	return in.node(t.Kind, t.Sym, t.Sort, args, true)
+}
+
+// Size returns the number of canonical nodes interned so far.
+func (in *Interner) Size() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.n
+}
+
+// Interned reports whether t is a canonical node of this interner.
+func (in *Interner) Interned(t *Term) bool { return t != nil && t.owner == in }

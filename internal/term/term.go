@@ -64,6 +64,15 @@ type Term struct {
 	// still equal, matching the paper's single distinguished value.
 	Sort sig.Sort
 	Args []*Term
+
+	// owner is the Interner this term is a canonical node of, or nil for
+	// terms built with the New* constructors or struct literals. Within
+	// one interner, structural equality is pointer equality (errors
+	// excepted), which Equal exploits.
+	owner *Interner
+	// ground caches IsGround for interned nodes (computed once at intern
+	// time from the canonical arguments).
+	ground bool
 }
 
 // NewOp builds an operation application.
@@ -116,6 +125,8 @@ func (t *Term) IsFalse() bool { return t.Kind == Op && t.Sym == FalseOp && len(t
 
 // Equal reports structural equality. Error terms are equal regardless of
 // the sort they were created at: the paper has a single error value.
+// When both terms are canonical nodes of the same Interner, equality is
+// decided by pointer comparison in O(1).
 func (t *Term) Equal(u *Term) bool {
 	if t == u {
 		return true
@@ -126,9 +137,14 @@ func (t *Term) Equal(u *Term) bool {
 	if t.Kind != u.Kind {
 		return false
 	}
-	switch t.Kind {
-	case Err:
+	if t.Kind == Err {
 		return true
+	}
+	if t.owner != nil && t.owner == u.owner {
+		// Same interner, different pointers: structurally distinct.
+		return false
+	}
+	switch t.Kind {
 	case Var, Atom:
 		return t.Sym == u.Sym && t.Sort == u.Sort
 	default:
@@ -193,8 +209,12 @@ func (t *Term) Depth() int {
 	return d + 1
 }
 
-// IsGround reports whether the term contains no variables.
+// IsGround reports whether the term contains no variables. For interned
+// terms the answer is cached at intern time and returned in O(1).
 func (t *Term) IsGround() bool {
+	if t.owner != nil {
+		return t.ground
+	}
 	if t.Kind == Var {
 		return false
 	}
