@@ -437,6 +437,78 @@ func BenchmarkAblationInterning(b *testing.B) {
 	})
 }
 
+// runQueueSpec drives the E1 queue workload through one engine.
+func runQueueSpec(b *testing.B, sys *rewrite.System, ops []bool, items []string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		state := term.NewOp("new", "Queue")
+		for j, add := range ops {
+			if add {
+				state = term.NewOp("add", "Queue", state,
+					term.NewAtom(items[j%len(items)], "Item"))
+			} else {
+				state = sys.MustNormalize(term.NewOp("remove", "Queue", state))
+			}
+		}
+		sys.MustNormalize(term.NewOp("isEmpty?", "Bool", state))
+	}
+}
+
+// Compiled matching automaton (discrimination tree + RHS templates) vs
+// the per-rule MatchBind loop, on the E1 queue workload.
+func BenchmarkAblationDiscTree(b *testing.B) {
+	env := speclib.BaseEnv()
+	sp := env.MustGet("Queue")
+	ops := queueWorkload(64)
+	items := []string{"a", "b", "c", "d"}
+	b.Run("disctree", func(b *testing.B) {
+		runQueueSpec(b, rewrite.New(sp), ops, items)
+	})
+	b.Run("matchbind", func(b *testing.B) {
+		runQueueSpec(b, rewrite.New(sp, rewrite.WithoutDiscTree()), ops, items)
+	})
+}
+
+// batchEvalTerms builds the deterministic workload for BenchmarkBatchEval:
+// a spread of queue observations over growing states.
+func batchEvalTerms(n int) []*term.Term {
+	out := make([]*term.Term, 0, n)
+	for i := 0; i < n; i++ {
+		state := term.NewOp("new", "Queue")
+		for j := 0; j <= i%9; j++ {
+			state = term.NewOp("add", "Queue", state,
+				term.NewAtom(fmt.Sprintf("x%d", (i+j)%5), "Item"))
+		}
+		if i%2 == 0 {
+			out = append(out, term.NewOp("front", "Item", state))
+		} else {
+			out = append(out, term.NewOp("isEmpty?", "Bool",
+				term.NewOp("remove", "Queue", state)))
+		}
+	}
+	return out
+}
+
+// NormalizeAll over a term batch, sequential vs parallel. Each iteration
+// forks a fresh engine so per-call caches start cold for every worker
+// count alike.
+func BenchmarkBatchEval(b *testing.B) {
+	env := speclib.BaseEnv()
+	sp := env.MustGet("Queue")
+	items := batchEvalTerms(256)
+	sys := rewrite.New(sp)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f := sys.Fork()
+				if _, errs := f.NormalizeAll(items, workers); errs != nil {
+					b.Fatal(errs)
+				}
+			}
+		})
+	}
+}
+
 // Memoized vs plain normalization on a workload with shared subterms.
 func BenchmarkAblationMemo(b *testing.B) {
 	env := speclib.BaseEnv()

@@ -5,8 +5,8 @@
 //
 //	adt info [-lib] [file.spec ...]
 //	adt check [-lib] [-depth N] [file.spec ...]
-//	adt eval -spec NAME [-lib] [file.spec ...] TERM
-//	adt trace -spec NAME [-lib] [file.spec ...] TERM
+//	adt eval -spec NAME [-lib] [-workers N] [file.spec ...] TERM ...
+//	adt trace -spec NAME [-lib] [file.spec ...] TERM ...
 //	adt verify -rep stack|list [-depth N]
 //
 // The -lib flag preloads the embedded specification library (the paper's
@@ -33,6 +33,7 @@ import (
 	"algspec/internal/reps"
 	"algspec/internal/rewrite"
 	"algspec/internal/speclib"
+	"algspec/internal/term"
 )
 
 func main() {
@@ -89,9 +90,10 @@ subcommands:
   check   [-lib] [-depth N] [file ...]
                                      sufficient-completeness and
                                      consistency of every loaded spec
-  eval    -spec NAME [-lib] [file ...] TERM
-                                     normalize a ground term
-  trace   -spec NAME [-lib] [file ...] TERM
+  eval    -spec NAME [-lib] [-workers N] [file ...] TERM ...
+                                     normalize ground terms (several terms
+                                     are evaluated as one parallel batch)
+  trace   -spec NAME [-lib] [file ...] TERM ...
                                      normalize, printing each rewrite
   verify  -rep stack|list [-depth N] verify a Symboltable representation
   fmt     [-w] file ...              format specifications canonically
@@ -226,57 +228,72 @@ func cmdEval(args []string, out io.Writer, traced bool) error {
 	lib := fs.Bool("lib", true, "preload the embedded specification library")
 	specName := fs.String("spec", "", "specification to evaluate against (required)")
 	stats := fs.Bool("stats", false, "print engine work counters (steps, rule fires, memo hits, native calls) after the normal form")
+	workers := fs.Int("workers", 0, "worker goroutines when several terms are given (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if *specName == "" || len(rest) == 0 {
-		return fmt.Errorf("eval requires -spec NAME and a TERM argument")
+		return fmt.Errorf("eval requires -spec NAME and at least one TERM argument")
 	}
-	files, termSrc := rest[:len(rest)-1], rest[len(rest)-1]
+	// Leading positional arguments that name existing files are loaded as
+	// specifications; everything after the first non-file is a term, so
+	// several terms may be evaluated in one invocation.
+	nfiles := 0
+	for nfiles < len(rest)-1 {
+		if _, err := os.Stat(rest[nfiles]); err != nil {
+			break
+		}
+		nfiles++
+	}
+	files, termSrcs := rest[:nfiles], rest[nfiles:]
 	env, err := loadEnv(*lib, files)
 	if err != nil {
 		return err
 	}
 	if traced {
-		step := 0
-		nf, err := env.Trace(*specName, termSrc, func(ts rewrite.TraceStep) {
-			step++
-			fmt.Fprintf(out, "%3d  %-14s %s\n     -> %s\n", step, "["+ts.Rule.Label+"]", ts.Before, ts.After)
-		})
-		if err != nil {
-			return err
+		for _, termSrc := range termSrcs {
+			if len(termSrcs) > 1 {
+				fmt.Fprintf(out, "== %s\n", termSrc)
+			}
+			step := 0
+			nf, err := env.Trace(*specName, termSrc, func(ts rewrite.TraceStep) {
+				step++
+				fmt.Fprintf(out, "%3d  %-14s %s\n     -> %s\n", step, "["+ts.Rule.Label+"]", ts.Before, ts.After)
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "normal form: %s\n", nf)
 		}
-		fmt.Fprintf(out, "normal form: %s\n", nf)
 		return nil
 	}
-	if *stats {
-		sys, err := env.System(*specName)
-		if err != nil {
-			return err
-		}
-		t, err := env.ParseTerm(*specName, termSrc)
-		if err != nil {
-			return err
-		}
-		before := sys.Stats()
-		nf, err := sys.Normalize(t)
-		if err != nil {
-			return err
-		}
-		d := sys.Stats()
-		fmt.Fprintln(out, nf)
-		fmt.Fprintf(out, "stats: steps=%d rule-fires=%d memo-hits=%d native-calls=%d interned=%d\n",
-			d.Steps-before.Steps, d.RuleFires-before.RuleFires,
-			d.MemoHits-before.MemoHits, d.NativeCalls-before.NativeCalls,
-			sys.Interner().Size())
-		return nil
-	}
-	nf, err := env.Eval(*specName, termSrc)
+	sys, err := env.System(*specName)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(out, nf)
+	// Fork so the env's cached system keeps clean counters; the fork
+	// shares the compiled program and interner.
+	sys = sys.Fork()
+	terms := make([]*term.Term, len(termSrcs))
+	for i, src := range termSrcs {
+		if terms[i], err = env.ParseTerm(*specName, src); err != nil {
+			return err
+		}
+	}
+	nfs, errs := sys.NormalizeAll(terms, *workers)
+	for i := range terms {
+		if errs != nil && errs[i] != nil {
+			return fmt.Errorf("%s: %w", termSrcs[i], errs[i])
+		}
+		fmt.Fprintln(out, nfs[i])
+	}
+	if *stats {
+		d := sys.Stats()
+		fmt.Fprintf(out, "stats: steps=%d rule-fires=%d memo-hits=%d native-calls=%d interned=%d\n",
+			d.Steps, d.RuleFires, d.MemoHits, d.NativeCalls,
+			sys.Interner().Size())
+	}
 	return nil
 }
 

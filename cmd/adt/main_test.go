@@ -24,6 +24,26 @@ func TestEval(t *testing.T) {
 	}
 }
 
+func TestEvalMultipleTerms(t *testing.T) {
+	code, out, errOut := runWith(t, "eval", "-spec", "Queue", "-workers", "4",
+		"front(add(add(new, 'x), 'y))",
+		"isEmpty?(new)",
+		"front(remove(add(add(new, 'a), 'b)))")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errOut)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	want := []string{"'x", "true", "'b"}
+	if len(lines) != len(want) {
+		t.Fatalf("out = %q", out)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q (results must stay in input order)", i, lines[i], want[i])
+		}
+	}
+}
+
 func TestEvalStats(t *testing.T) {
 	code, out, errOut := runWith(t, "eval", "-spec", "Queue", "-stats",
 		"front(remove(add(add(add(new, 'a), 'b), 'c)))")

@@ -31,6 +31,10 @@ func benchExport(out io.Writer, path string, env *core.Env) error {
 		measure("e1_queue_spec_ops64", benchQueueSpec(env, 64)),
 		measure("ablation_memo_nat_addn", benchMemoNat(env)),
 		measure("ablation_nomemo_nat_addn", benchPlainNat(env)),
+		measure("ablation_disctree_on", benchQueueSpecOpts(env, 64)),
+		measure("ablation_disctree_off", benchQueueSpecOpts(env, 64, rewrite.WithoutDiscTree())),
+		measure("batch_eval_w1", benchBatchEval(env, 1)),
+		measure("batch_eval_w4", benchBatchEval(env, 4)),
 	}
 	data, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
@@ -59,6 +63,12 @@ func measure(name string, fn func(b *testing.B)) benchRow {
 // drive a queue of terms through n interleaved add/remove operations and
 // observe the front.
 func benchQueueSpec(env *core.Env, n int) func(b *testing.B) {
+	return benchQueueSpecOpts(env, n)
+}
+
+// benchQueueSpecOpts is benchQueueSpec with engine options, used for the
+// matching-automaton ablation (WithoutDiscTree).
+func benchQueueSpecOpts(env *core.Env, n int, opts ...rewrite.Option) func(b *testing.B) {
 	sp := env.MustGet("Queue")
 	items := []string{"a", "b", "c", "d"}
 	ops := make([]bool, 0, n) // true = add, false = remove
@@ -73,7 +83,7 @@ func benchQueueSpec(env *core.Env, n int) func(b *testing.B) {
 		}
 	}
 	return func(b *testing.B) {
-		sys := rewrite.New(sp)
+		sys := rewrite.New(sp, opts...)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			state := term.NewOp("new", "Queue")
@@ -86,6 +96,37 @@ func benchQueueSpec(env *core.Env, n int) func(b *testing.B) {
 				}
 			}
 			sys.MustNormalize(term.NewOp("isEmpty?", "Bool", state))
+		}
+	}
+}
+
+// benchBatchEval mirrors bench_test.go's BenchmarkBatchEval: NormalizeAll
+// over a fixed batch of queue observations, forking a fresh engine per
+// iteration so caches start cold for every worker count alike.
+func benchBatchEval(env *core.Env, workers int) func(b *testing.B) {
+	sp := env.MustGet("Queue")
+	var items []*term.Term
+	for i := 0; i < 256; i++ {
+		state := term.NewOp("new", "Queue")
+		for j := 0; j <= i%9; j++ {
+			state = term.NewOp("add", "Queue", state,
+				term.NewAtom(fmt.Sprintf("x%d", (i+j)%5), "Item"))
+		}
+		if i%2 == 0 {
+			items = append(items, term.NewOp("front", "Item", state))
+		} else {
+			items = append(items, term.NewOp("isEmpty?", "Bool",
+				term.NewOp("remove", "Queue", state)))
+		}
+	}
+	sys := rewrite.New(sp)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f := sys.Fork()
+			if _, errs := f.NormalizeAll(items, workers); errs != nil {
+				b.Fatal(errs)
+			}
 		}
 	}
 }

@@ -36,6 +36,10 @@ func TestBenchExport(t *testing.T) {
 		"e1_queue_spec_ops64":      false,
 		"ablation_memo_nat_addn":   false,
 		"ablation_nomemo_nat_addn": false,
+		"ablation_disctree_on":     false,
+		"ablation_disctree_off":    false,
+		"batch_eval_w1":            false,
+		"batch_eval_w4":            false,
 	}
 	for _, r := range rows {
 		if _, ok := want[r.Name]; !ok {

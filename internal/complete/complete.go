@@ -25,7 +25,6 @@ import (
 	"strings"
 
 	"algspec/internal/gen"
-	"algspec/internal/par"
 	"algspec/internal/rewrite"
 	"algspec/internal/sig"
 	"algspec/internal/spec"
@@ -474,6 +473,10 @@ func CheckDynamic(sp *spec.Spec, cfg DynamicConfig) *DynamicReport {
 	sys := cfg.System
 	if sys == nil {
 		sys = rewrite.New(sp)
+	} else {
+		// The supplied system may be shared (core.Env caches one per
+		// spec); batch through a fork so its counters stay untouched.
+		sys = sys.Fork()
 	}
 
 	// Phase 1: build the full instance list, in the same order the
@@ -499,27 +502,18 @@ func CheckDynamic(sp *spec.Spec, cfg DynamicConfig) *DynamicReport {
 	}
 	r.Checked = len(items)
 
-	// Phase 2: normalize in parallel, one forked system per worker.
-	outcomes := make([]DynamicFailure, len(items)) // zero Term = pass
-	par.ForEach(len(items), cfg.Workers, func(w, lo, hi int) {
-		wsys := sys.Fork()
-		for i := lo; i < hi; i++ {
-			t := items[i]
-			nf, err := wsys.Normalize(t)
-			if err != nil {
-				outcomes[i] = DynamicFailure{Term: t, Err: err}
-				continue
-			}
-			if !rewrite.IsConstructorForm(sp, nf) {
-				outcomes[i] = DynamicFailure{Term: t, Normal: nf}
-			}
-		}
-	})
+	// Phase 2: normalize the whole batch through the engine's batched
+	// API (forked sibling systems, deterministic merge).
+	nfs, errs := sys.NormalizeAll(items, cfg.Workers)
 
-	// Phase 3: deterministic merge in item order.
-	for i := range outcomes {
-		if outcomes[i].Term != nil {
-			r.Failures = append(r.Failures, outcomes[i])
+	// Phase 3: classify in item order.
+	for i, t := range items {
+		if errs != nil && errs[i] != nil {
+			r.Failures = append(r.Failures, DynamicFailure{Term: t, Err: errs[i]})
+			continue
+		}
+		if !rewrite.IsConstructorForm(sp, nfs[i]) {
+			r.Failures = append(r.Failures, DynamicFailure{Term: t, Normal: nfs[i]})
 		}
 	}
 	return r

@@ -23,7 +23,6 @@ import (
 	"strings"
 
 	"algspec/internal/gen"
-	"algspec/internal/par"
 	"algspec/internal/rewrite"
 	"algspec/internal/sig"
 	"algspec/internal/spec"
@@ -287,37 +286,32 @@ func CheckGround(sp *spec.Spec, cfg GroundConfig) *GroundReport {
 	}
 	r.Checked = len(items)
 
-	type outcome struct {
-		conflict   *GroundConflict
-		errI, errO error
-	}
-	outcomes := make([]outcome, len(items))
-	par.ForEach(len(items), cfg.Workers, func(w, lo, hi int) {
-		inner := base.Fork(rewrite.WithStrategy(rewrite.Innermost))
-		outer := base.Fork(rewrite.WithStrategy(rewrite.Outermost))
-		for i := lo; i < hi; i++ {
-			t := items[i]
-			nfI, errI := inner.Normalize(t)
-			nfO, errO := outer.Normalize(t)
-			if errI != nil || errO != nil {
-				outcomes[i] = outcome{errI: errI, errO: errO}
-				continue
-			}
-			if !nfI.Equal(nfO) {
-				outcomes[i] = outcome{conflict: &GroundConflict{Term: t, Innermost: nfI, Outermost: nfO}}
-			}
-		}
-	})
+	// One batched normalization per strategy; NormalizeAll forks per
+	// worker internally and keeps results index-aligned with items.
+	inner := base.Fork(rewrite.WithStrategy(rewrite.Innermost))
+	outer := base.Fork(rewrite.WithStrategy(rewrite.Outermost))
+	nfsI, errsI := inner.NormalizeAll(items, cfg.Workers)
+	nfsO, errsO := outer.NormalizeAll(items, cfg.Workers)
 
-	for i, o := range outcomes {
-		if o.errI != nil {
-			r.Errors = append(r.Errors, fmt.Errorf("%s: %w", items[i], o.errI))
+	for i, t := range items {
+		var errI, errO error
+		if errsI != nil {
+			errI = errsI[i]
 		}
-		if o.errO != nil {
-			r.Errors = append(r.Errors, fmt.Errorf("%s: %w", items[i], o.errO))
+		if errsO != nil {
+			errO = errsO[i]
 		}
-		if o.conflict != nil {
-			r.Conflicts = append(r.Conflicts, *o.conflict)
+		if errI != nil {
+			r.Errors = append(r.Errors, fmt.Errorf("%s: %w", t, errI))
+		}
+		if errO != nil {
+			r.Errors = append(r.Errors, fmt.Errorf("%s: %w", t, errO))
+		}
+		if errI != nil || errO != nil {
+			continue
+		}
+		if !nfsI[i].Equal(nfsO[i]) {
+			r.Conflicts = append(r.Conflicts, GroundConflict{Term: t, Innermost: nfsI[i], Outermost: nfsO[i]})
 		}
 	}
 	return r

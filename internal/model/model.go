@@ -450,6 +450,9 @@ func CheckAgainstSpec(sp *spec.Spec, impl *Impl, cfg Config) *Report {
 	base := cfg.System
 	if base == nil {
 		base = rewrite.New(sp)
+	} else {
+		// Batch through a fork so a shared supplied system stays untouched.
+		base = base.Fork()
 	}
 
 	observable := func(so sig.Sort) bool {
@@ -475,6 +478,11 @@ func CheckAgainstSpec(sp *spec.Spec, impl *Impl, cfg Config) *Report {
 		}
 	}
 
+	// Symbolic side first: one batched normalization over all observer
+	// terms (forked workers inside NormalizeAll), then the parallel loop
+	// below only runs the implementation adapter.
+	nfs, nfErrs := base.NormalizeAll(items, cfg.Workers)
+
 	type outcome struct {
 		failure *Failure
 		soft    error // normalization failure: recorded, then move on
@@ -482,14 +490,13 @@ func CheckAgainstSpec(sp *spec.Spec, impl *Impl, cfg Config) *Report {
 	}
 	outcomes := make([]outcome, len(items))
 	par.ForEach(len(items), cfg.Workers, func(w, lo, hi int) {
-		sys := base.Fork()
 		for i := lo; i < hi; i++ {
 			t := items[i]
-			nf, err := sys.Normalize(t)
-			if err != nil {
-				outcomes[i] = outcome{soft: fmt.Errorf("%s: %w", t, err)}
+			if nfErrs != nil && nfErrs[i] != nil {
+				outcomes[i] = outcome{soft: fmt.Errorf("%s: %w", t, nfErrs[i])}
 				continue
 			}
+			nf := nfs[i]
 			iv, err := h.Eval(t)
 			if err != nil {
 				outcomes[i] = outcome{fatal: fmt.Errorf("%s: %w", t, err)}

@@ -1,0 +1,290 @@
+// Compilation of a specification's rule list into the matching automaton
+// (trie.go) and the slot-indexed right-hand-side build templates. This
+// runs once per rewrite.New; the compiled artifacts hang off the shared
+// program, so Forks pay nothing.
+package rewrite
+
+import (
+	"fmt"
+
+	"algspec/internal/sig"
+	"algspec/internal/term"
+)
+
+// template is the compiled form of one rule's right-hand side: a flat
+// postfix program whose variables are integer slots into the capture
+// frame the trie walk produced. Ground subtrees (and subtrees whose
+// variables the pattern does not bind) are folded into single constant
+// pushes of the rule's own hash-consed nodes, so building shares
+// structure exactly like subst.Bindings.Build does.
+type template struct {
+	// constOnly short-circuits a fully ground RHS: the result is always
+	// this node.
+	constOnly *term.Term
+	// slotOnly >= 0 short-circuits an RHS that is a single bound
+	// variable: the result is frame[slotOnly].
+	slotOnly int
+	instrs   []tinstr
+}
+
+// tinstr opcodes.
+type tOpcode uint8
+
+const (
+	// tConst pushes the instruction's lit.
+	tConst tOpcode = iota
+	// tSlot pushes frame[a].
+	tSlot
+	// tMk pops a children and pushes the operation node sym/sort over
+	// them.
+	tMk
+)
+
+type tinstr struct {
+	op   tOpcode
+	a    int
+	sym  string
+	sort sig.Sort
+	lit  *term.Term
+}
+
+// build runs the template over a capture frame. stack is a caller-owned
+// reusable scratch buffer, returned (possibly grown) for the next call.
+// When in is non-nil every built node is interned, mirroring
+// Bindings.Build's canonical mode on the memoized path.
+func (p *template) build(frame []*term.Term, in *term.Interner, stack []*term.Term) (*term.Term, []*term.Term) {
+	if p.constOnly != nil {
+		return p.constOnly, stack
+	}
+	if p.slotOnly >= 0 {
+		return frame[p.slotOnly], stack
+	}
+	stack = stack[:0]
+	for i := range p.instrs {
+		ins := &p.instrs[i]
+		switch ins.op {
+		case tConst:
+			stack = append(stack, ins.lit)
+		case tSlot:
+			stack = append(stack, frame[ins.a])
+		default: // tMk
+			n := len(stack) - ins.a
+			args := make([]*term.Term, ins.a)
+			copy(args, stack[n:])
+			stack = stack[:n]
+			var t *term.Term
+			if in != nil {
+				t = in.OpTerms(ins.sym, ins.sort, args)
+			} else {
+				t = &term.Term{Kind: term.Op, Sym: ins.sym, Sort: ins.sort, Args: args}
+			}
+			stack = append(stack, t)
+		}
+	}
+	return stack[0], stack
+}
+
+// compileRules builds the per-head discrimination trees and the per-rule
+// RHS templates for a compiled rule list. Rules are inserted in priority
+// (index) order, which keeps every node's edge lists sorted by minRule —
+// the invariant the matcher's pruning relies on.
+func compileRules(rules []Rule) (map[string]*trie, []template) {
+	tries := make(map[string]*trie)
+	tmpls := make([]template, len(rules))
+	for ri := range rules {
+		r := &rules[ri]
+		tr := tries[r.LHS.Sym]
+		if tr == nil {
+			tr = &trie{root: newTnode(ri)}
+			tries[r.LHS.Sym] = tr
+		}
+		slots := insertRule(tr, ri, r.LHS)
+		tmpls[ri] = compileRHS(r.RHS, slots)
+	}
+	for _, tr := range tries {
+		tr.det = detNode(tr.root)
+	}
+	return tries, tmpls
+}
+
+// detNode reports whether the subtree rooted at n is deterministic: no
+// node both branches on shape and offers a variable edge, and no node
+// offers two variable edges (distinct symbol edges are mutually
+// exclusive by construction). Such tries admit a first-match walk with
+// no backtracking, because at most one edge can consume any subject.
+func detNode(n *tnode) bool {
+	if n.rule >= 0 {
+		return true
+	}
+	if len(n.vars) > 0 && (len(n.kids) > 0 || len(n.vars) > 1) {
+		return false
+	}
+	for i := range n.kids {
+		if !detNode(n.kids[i].to) {
+			return false
+		}
+	}
+	for i := range n.vars {
+		if !detNode(n.vars[i].to) {
+			return false
+		}
+	}
+	return true
+}
+
+// insertRule threads one rule's pattern traversal through the trie,
+// creating nodes as needed, and returns the pattern's variable-to-slot
+// assignment (first-occurrence order over the preorder traversal of the
+// arguments). A rule whose pattern duplicates an earlier rule's pattern
+// shares its leaf and can never fire; the earlier rule keeps priority.
+func insertRule(tr *trie, ri int, lhs *term.Term) map[string]int {
+	slots := make(map[string]int)
+	cur := tr.root
+	if ri < cur.minRule {
+		cur.minRule = ri
+	}
+	var walk func(p *term.Term)
+	walk = func(p *term.Term) {
+		switch p.Kind {
+		case term.Var:
+			if old, seen := slots[p.Sym]; seen {
+				cur = followVar(cur, ri, varEdge{sort: p.Sort, slot: -1, sameAs: old})
+			} else {
+				slot := len(slots)
+				slots[p.Sym] = slot
+				cur = followVar(cur, ri, varEdge{sort: p.Sort, slot: slot, sameAs: -1})
+			}
+		case term.Atom:
+			cur = followSym(cur, ri, symEdge{kind: term.Atom, sym: p.Sym, sort: p.Sort})
+		case term.Err:
+			cur = followSym(cur, ri, symEdge{kind: term.Err})
+		default:
+			cur = followSym(cur, ri, symEdge{kind: term.Op, sym: p.Sym, nargs: len(p.Args)})
+			for _, a := range p.Args {
+				walk(a)
+			}
+		}
+	}
+	for _, a := range lhs.Args {
+		walk(a)
+	}
+	if cur.rule < 0 {
+		cur.rule = ri
+	}
+	if len(slots) > tr.slots {
+		tr.slots = len(slots)
+	}
+	return slots
+}
+
+// followSym finds or creates the symbol edge of cur matching e, returning
+// its target with minRule updated for this insertion.
+func followSym(cur *tnode, ri int, e symEdge) *tnode {
+	for i := range cur.kids {
+		k := &cur.kids[i]
+		if k.kind == e.kind && k.sym == e.sym && k.sort == e.sort && k.nargs == e.nargs {
+			if ri < k.to.minRule {
+				k.to.minRule = ri
+			}
+			return k.to
+		}
+	}
+	e.to = newTnode(ri)
+	cur.kids = append(cur.kids, e)
+	return e.to
+}
+
+// followVar finds or creates the variable edge of cur matching e. A
+// shared pattern prefix assigns slots identically across rules (slot
+// numbers count captures along the path), so edge reuse is sound.
+func followVar(cur *tnode, ri int, e varEdge) *tnode {
+	for i := range cur.vars {
+		v := &cur.vars[i]
+		if v.sort == e.sort && v.slot == e.slot && v.sameAs == e.sameAs {
+			if ri < v.to.minRule {
+				v.to.minRule = ri
+			}
+			return v.to
+		}
+	}
+	e.to = newTnode(ri)
+	cur.vars = append(cur.vars, e)
+	return e.to
+}
+
+// compileRHS flattens a right-hand side into a postfix build program over
+// the pattern's slot assignment. Subtrees containing no bound variable
+// compile to a constant push of the rule's own node (already interned by
+// New), preserving Build's sharing behaviour.
+func compileRHS(rhs *term.Term, slots map[string]int) template {
+	p := template{slotOnly: -1}
+	if rhs.Kind == term.Var {
+		if s, ok := slots[rhs.Sym]; ok {
+			p.slotOnly = s
+			return p
+		}
+	}
+	if !containsBound(rhs, slots) {
+		p.constOnly = rhs
+		return p
+	}
+	var emit func(t *term.Term)
+	emit = func(t *term.Term) {
+		if t.Kind == term.Var {
+			if s, ok := slots[t.Sym]; ok {
+				p.instrs = append(p.instrs, tinstr{op: tSlot, a: s})
+				return
+			}
+			p.instrs = append(p.instrs, tinstr{op: tConst, lit: t})
+			return
+		}
+		if !containsBound(t, slots) {
+			p.instrs = append(p.instrs, tinstr{op: tConst, lit: t})
+			return
+		}
+		for _, a := range t.Args {
+			emit(a)
+		}
+		p.instrs = append(p.instrs, tinstr{op: tMk, a: len(t.Args), sym: t.Sym, sort: t.Sort})
+	}
+	emit(rhs)
+	return p
+}
+
+// containsBound reports whether t contains a variable the pattern binds.
+func containsBound(t *term.Term, slots map[string]int) bool {
+	if t.Kind == term.Var {
+		_, ok := slots[t.Sym]
+		return ok
+	}
+	for _, a := range t.Args {
+		if containsBound(a, slots) {
+			return true
+		}
+	}
+	return false
+}
+
+// sanity check used by tests: a template's stack never underflows and
+// ends with exactly one value.
+func (p *template) wellFormed() error {
+	if p.constOnly != nil || p.slotOnly >= 0 {
+		return nil
+	}
+	depth := 0
+	for _, ins := range p.instrs {
+		switch ins.op {
+		case tConst, tSlot:
+			depth++
+		default:
+			if depth < ins.a {
+				return fmt.Errorf("template: stack underflow")
+			}
+			depth -= ins.a - 1
+		}
+	}
+	if depth != 1 {
+		return fmt.Errorf("template: ends with %d values", depth)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package rewrite
+
+// Matcher-level tests for automaton cases that are awkward to reach
+// through full specifications: non-left-linear patterns, literal error
+// patterns, and the capture-frame snapshot that protects a winning
+// match's bindings from a later, failing backtrack branch.
+
+import (
+	"testing"
+
+	"algspec/internal/sig"
+	"algspec/internal/term"
+)
+
+const tS = sig.Sort("S")
+
+func matchOne(t *testing.T, rules []Rule, subject *term.Term) (int, []*term.Term) {
+	t.Helper()
+	tries, tmpls := compileRules(rules)
+	for i := range tmpls {
+		if err := tmpls[i].wellFormed(); err != nil {
+			t.Fatalf("rule %d template: %v", i, err)
+		}
+	}
+	tr := tries[subject.Sym]
+	if tr == nil {
+		return -1, nil
+	}
+	var m trieMatcher
+	return m.match(tr, subject, len(rules))
+}
+
+func TestTrieNonLinearPattern(t *testing.T) {
+	x := term.NewVar("x", tS)
+	rules := []Rule{{
+		Label: "nl",
+		LHS:   term.NewOp("f", tS, x, x),
+		RHS:   x,
+	}}
+	a := term.NewAtom("a", tS)
+	b := term.NewAtom("b", tS)
+	if ri, frame := matchOne(t, rules, term.NewOp("f", tS, a, a)); ri != 0 {
+		t.Fatalf("f('a,'a) should match the non-linear pattern")
+	} else if !frame[0].Equal(a) {
+		t.Fatalf("captured %s, want 'a", frame[0])
+	}
+	if ri, _ := matchOne(t, rules, term.NewOp("f", tS, a, b)); ri != -1 {
+		t.Fatalf("f('a,'b) must not match f(x,x)")
+	}
+}
+
+func TestTrieErrorPattern(t *testing.T) {
+	rules := []Rule{{
+		Label: "onerr",
+		LHS:   term.NewOp("g", tS, term.NewErr(tS)),
+		RHS:   term.NewAtom("caught", tS),
+	}}
+	if ri, _ := matchOne(t, rules, term.NewOp("g", tS, term.NewErr(tS))); ri != 0 {
+		t.Fatalf("g(error) should match the literal error pattern")
+	}
+	if ri, _ := matchOne(t, rules, term.NewOp("g", tS, term.NewAtom("a", tS))); ri != -1 {
+		t.Fatalf("g('a) must not match g(error)")
+	}
+}
+
+// TestTrieFrameSnapshot forces the walk to find the winning rule first
+// and then backtrack through a branch that overwrites the shared capture
+// slot before failing; the returned frame must still hold the winner's
+// capture.
+func TestTrieFrameSnapshot(t *testing.T) {
+	x := term.NewVar("x", tS)
+	y := term.NewVar("y", tS)
+	rules := []Rule{
+		{Label: "r0", LHS: term.NewOp("f", tS, x, term.NewAtom("a", tS)), RHS: x},
+		{Label: "r1", LHS: term.NewOp("f", tS, term.NewOp("c", tS, y), term.NewAtom("b", tS)), RHS: y},
+	}
+	d := term.NewAtom("d", tS)
+	subject := term.NewOp("f", tS, term.NewOp("c", tS, d), term.NewAtom("b", tS))
+	ri, frame := matchOne(t, rules, subject)
+	if ri != 1 {
+		t.Fatalf("matched rule %d, want 1", ri)
+	}
+	if !frame[0].Equal(d) {
+		t.Fatalf("frame[0] = %s, want 'd (clobbered by the failed r0 branch?)", frame[0])
+	}
+}
+
+// TestTrieDuplicatePattern: a rule whose LHS duplicates an earlier rule's
+// pattern shares its leaf and can never fire.
+func TestTrieDuplicatePattern(t *testing.T) {
+	x := term.NewVar("x", tS)
+	rules := []Rule{
+		{Label: "first", LHS: term.NewOp("f", tS, x), RHS: term.NewAtom("one", tS)},
+		{Label: "dead", LHS: term.NewOp("f", tS, term.NewVar("z", tS)), RHS: term.NewAtom("two", tS)},
+	}
+	ri, _ := matchOne(t, rules, term.NewOp("f", tS, term.NewAtom("a", tS)))
+	if ri != 0 {
+		t.Fatalf("matched rule %d, want 0 (earlier duplicate keeps priority)", ri)
+	}
+}
+
+func TestTemplateGroundAndUnboundVars(t *testing.T) {
+	x := term.NewVar("x", tS)
+	free := term.NewVar("free", tS)
+	ground := term.NewOp("k", tS)
+	rules := []Rule{
+		// RHS mixes a bound slot, an unbound variable (left in place,
+		// like Bindings.Build), and a ground constant subtree.
+		{Label: "mix", LHS: term.NewOp("f", tS, x), RHS: term.NewOp("g", tS, x, free, ground)},
+	}
+	tries, tmpls := compileRules(rules)
+	var m trieMatcher
+	a := term.NewAtom("a", tS)
+	ri, frame := m.match(tries["f"], term.NewOp("f", tS, a), len(rules))
+	if ri != 0 {
+		t.Fatalf("no match")
+	}
+	out, _ := tmpls[0].build(frame, nil, nil)
+	want := term.NewOp("g", tS, a, free, ground)
+	if !out.Equal(want) {
+		t.Fatalf("built %s, want %s", out, want)
+	}
+	if out.Args[1] != free || out.Args[2] != ground {
+		t.Fatalf("unbound variable and ground subtree must be shared, not copied")
+	}
+}

@@ -26,6 +26,9 @@ package rewrite
 import (
 	"fmt"
 	"hash/fnv"
+	"strings"
+	"sync/atomic"
+	"unicode/utf8"
 
 	"algspec/internal/spec"
 	"algspec/internal/subst"
@@ -85,10 +88,16 @@ func (e *ErrFuel) Error() string {
 
 func clip(t *term.Term) string {
 	s := t.String()
-	if len(s) > 120 {
-		return s[:117] + "..."
+	if len(s) <= 120 {
+		return s
 	}
-	return s
+	// Truncate on a rune boundary so an atom spelled in a multi-byte
+	// script is never split mid-sequence.
+	cut := 117
+	for cut > 0 && !utf8.RuneStart(s[cut]) {
+		cut--
+	}
+	return s[:cut] + "..."
 }
 
 // TraceStep records one rule application for the CLI's trace subcommand.
@@ -156,8 +165,17 @@ func WithNative(op string, f NativeFunc) Option {
 }
 
 // WithoutRuleIndex disables head-symbol indexing, forcing a linear scan
-// over all rules at every redex. Exists only for the ablation benchmark.
+// over all rules at every redex (it implies WithoutDiscTree — a
+// discrimination tree is an index). Exists only for the ablation
+// benchmark.
 func WithoutRuleIndex() Option { return func(sys *System) { sys.noIndex = true } }
+
+// WithoutDiscTree disables the compiled matching automaton
+// (discrimination-tree dispatch and slot-indexed RHS templates), falling
+// back to per-rule subst.MatchBind over the head-symbol index. Exists for
+// the ablation benchmark and as the reference semantics in the
+// differential tests.
+func WithoutDiscTree() Option { return func(sys *System) { sys.noDiscTree = true } }
 
 // WithMemo enables memoization of normal forms for ground subterms. The
 // memo is keyed by hash-consed (pointer-canonical) terms from the
@@ -194,6 +212,16 @@ type program struct {
 	sp    *spec.Spec
 	rules []Rule
 	index map[string][]int // head symbol -> rule indices, in priority order
+	// allRules is the 0..len(rules) identity list the WithoutRuleIndex
+	// ablation scans; precomputed once so the ablation measures indexing,
+	// not per-redex allocator pressure.
+	allRules []int
+	// tries is the compiled matching automaton: head symbol ->
+	// discrimination tree over that symbol's rule group.
+	tries map[string]*trie
+	// tmpls holds one compiled RHS build template per rule, indexed like
+	// rules.
+	tmpls []template
 }
 
 // System is a compiled rewrite system for one specification. A System is
@@ -201,20 +229,43 @@ type program struct {
 // safe for concurrent use; call Fork to get an independent sibling over
 // the same compiled rules for each goroutine.
 type System struct {
-	prog     *program
-	native   map[string]NativeFunc
-	strategy Strategy
-	maxSteps int
-	noIndex  bool
-	trace    func(TraceStep)
+	prog       *program
+	native     map[string]NativeFunc
+	strategy   Strategy
+	maxSteps   int
+	noIndex    bool
+	noDiscTree bool
+	trace      func(TraceStep)
 
 	intern    *term.Interner
 	memo      map[*term.Term]*term.Term
 	memoLimit int
 
+	// disp folds the native table and the discrimination-tree index into
+	// one map so the hot path pays a single string hash per redex. Built
+	// after options are applied (New and Fork), since WithNative changes it.
+	disp map[string]dispatch
+	// gen is this system's normal-form token: terms the system has proven
+	// to be their own normal form are stamped with it (term.MarkNormalTag).
+	// The compiled program is immutable and terms are never mutated, so
+	// normality is permanent for the lifetime of a System; callers that
+	// re-embed returned normal forms in bigger terms (every checker and
+	// the E1 workload do) then skip the quadratic re-traversal of the
+	// shared spine in O(1). Skipping redex-free subterms performs no
+	// reductions, so Stats and traces are unaffected. Tokens are unique
+	// per System (Fork takes a fresh one: strategy or natives may differ),
+	// so a term stamped by another system simply misses.
+	gen uint32
+
 	stats Stats
-	// bindBuf is the reusable binding buffer for the matching hot path.
+	// bindBuf is the reusable binding buffer for the MatchBind fallback
+	// path (ablations and WithoutDiscTree forks).
 	bindBuf subst.Bindings
+	// tm and buildStack are the reusable matching-automaton state: the
+	// trie walk's stack and capture frame, and the template evaluator's
+	// value stack.
+	tm         trieMatcher
+	buildStack []*term.Term
 	// active and budget implement the per-call fuel limit: the budget is
 	// set when an outermost Normalize begins and left alone by the
 	// nested Normalize calls the conditional's lazy semantics makes
@@ -264,9 +315,38 @@ func New(sp *spec.Spec, opts ...Option) *System {
 	for i, r := range prog.rules {
 		prog.index[r.LHS.Sym] = append(prog.index[r.LHS.Sym], i)
 	}
+	prog.allRules = make([]int, len(prog.rules))
+	for i := range prog.allRules {
+		prog.allRules[i] = i
+	}
+	prog.tries, prog.tmpls = compileRules(prog.rules)
 	sys.prog = prog
+	sys.buildDispatch()
 	return sys
 }
+
+// dispatch is the per-head-symbol entry of the merged hot-path table.
+type dispatch struct {
+	native NativeFunc
+	tr     *trie
+}
+
+func (s *System) buildDispatch() {
+	s.disp = make(map[string]dispatch, len(s.prog.tries)+len(s.native))
+	for sym, tr := range s.prog.tries {
+		s.disp[sym] = dispatch{tr: tr}
+	}
+	for sym, nf := range s.native {
+		d := s.disp[sym]
+		d.native = nf
+		s.disp[sym] = d
+	}
+	s.gen = genCounter.Add(1)
+}
+
+// genCounter allocates normal-form tokens; 0 is never issued, so the
+// zero-valued tag on a fresh term can never match a live system.
+var genCounter atomic.Uint32
 
 // Fork returns an independent System over the same compiled rules, rule
 // index and interner, with fresh mutable state (zero Stats, empty memo if
@@ -276,13 +356,14 @@ func New(sp *spec.Spec, opts ...Option) *System {
 // without recompiling the specification.
 func (s *System) Fork(opts ...Option) *System {
 	ns := &System{
-		prog:      s.prog,
-		native:    make(map[string]NativeFunc, len(s.native)),
-		strategy:  s.strategy,
-		maxSteps:  s.maxSteps,
-		noIndex:   s.noIndex,
-		intern:    s.intern,
-		memoLimit: s.memoLimit,
+		prog:       s.prog,
+		native:     make(map[string]NativeFunc, len(s.native)),
+		strategy:   s.strategy,
+		maxSteps:   s.maxSteps,
+		noIndex:    s.noIndex,
+		noDiscTree: s.noDiscTree,
+		intern:     s.intern,
+		memoLimit:  s.memoLimit,
 	}
 	for k, v := range s.native {
 		ns.native[k] = v
@@ -293,6 +374,7 @@ func (s *System) Fork(opts ...Option) *System {
 	for _, o := range opts {
 		o(ns)
 	}
+	ns.buildDispatch()
 	return ns
 }
 
@@ -303,36 +385,13 @@ func (s *System) Fork(opts ...Option) *System {
 // generically, so hashing natives return a Bool-free atom-keyed result via
 // HashAtom.
 func defaultNative(name string) (NativeFunc, bool) {
+	lower := strings.ToLower(name)
 	switch {
-	case containsFold(name, "same") || containsFold(name, "eq"):
+	case strings.Contains(lower, "same") || strings.Contains(lower, "eq"):
 		return SameAtoms, true
 	default:
 		return nil, false
 	}
-}
-
-func containsFold(s, sub string) bool {
-	n, m := len(s), len(sub)
-	for i := 0; i+m <= n; i++ {
-		ok := true
-		for j := 0; j < m; j++ {
-			c, d := s[i+j], sub[j]
-			if 'A' <= c && c <= 'Z' {
-				c += 'a' - 'A'
-			}
-			if 'A' <= d && d <= 'Z' {
-				d += 'a' - 'A'
-			}
-			if c != d {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			return true
-		}
-	}
-	return false
 }
 
 // SameAtoms is the native equality on atoms: same?('x,'y) = false,
@@ -351,7 +410,12 @@ func SameAtoms(args []*term.Term) (*term.Term, bool) {
 // HashAtomMod returns a native that hashes an atom's spelling modulo n,
 // producing the term bucket_k (a constant that must exist in the
 // signature). It reproduces the paper's HASH: Identifier -> [1..n].
+// A bucket count below one is a programming error and panics immediately
+// rather than dividing by zero at the first native call mid-rewrite.
 func HashAtomMod(n int, bucket func(k int) *term.Term) NativeFunc {
+	if n <= 0 {
+		panic(fmt.Sprintf("rewrite: HashAtomMod requires a positive bucket count, got %d", n))
+	}
 	return func(args []*term.Term) (*term.Term, bool) {
 		if len(args) != 1 || args[0].Kind != term.Atom {
 			return nil, false
@@ -419,7 +483,9 @@ func (s *System) MustNormalize(t *term.Term) *term.Term {
 func (s *System) spend(last *term.Term) error {
 	s.stats.Steps++
 	if s.stats.Steps > s.budget {
-		return &ErrFuel{Steps: s.maxSteps, Last: last}
+		// Report the steps actually spent by this outermost call (the
+		// budget was set to the step counter at entry plus maxSteps).
+		return &ErrFuel{Steps: s.stats.Steps - (s.budget - s.maxSteps), Last: last}
 	}
 	return nil
 }
@@ -429,6 +495,12 @@ func (s *System) spend(last *term.Term) error {
 func (s *System) normalizeInnermost(t *term.Term) (*term.Term, error) {
 	switch t.Kind {
 	case term.Var, term.Atom, term.Err:
+		return t, nil
+	}
+	// The normal-form tag serves the non-memoized path; a memoized system
+	// already answers re-normalizations in O(1) through canonical-pointer
+	// probes, and tagging first would bypass (and under-count) the memo.
+	if s.memo == nil && t.NormalTag() == s.gen {
 		return t, nil
 	}
 
@@ -495,6 +567,8 @@ func (s *System) normalizeInnermost(t *term.Term) (*term.Term, error) {
 			s.memo = make(map[*term.Term]*term.Term)
 		}
 		s.memo[memoKey] = nf
+	} else {
+		nf.MarkNormalTag(s.gen)
 	}
 	return nf, nil
 }
@@ -511,20 +585,63 @@ func (s *System) rootThenRecurse(cur *term.Term) (*term.Term, error) {
 	return cur, nil
 }
 
-// stepRoot tries native evaluation then each applicable rule at the root.
+// stepRoot tries native evaluation then rule matching at the root. Rule
+// matching goes through the compiled discrimination tree by default; the
+// WithoutDiscTree and WithoutRuleIndex ablations fall back to per-rule
+// subst.MatchBind.
 func (s *System) stepRoot(cur *term.Term) (*term.Term, bool, error) {
-	if nf, ok := s.native[cur.Sym]; ok {
-		if out, applied := nf(cur.Args); applied {
-			if err := s.spend(cur); err != nil {
-				return nil, false, err
+	if s.noDiscTree || s.noIndex {
+		if nf, ok := s.native[cur.Sym]; ok {
+			if out, applied := nf(cur.Args); applied {
+				return s.fireNative(cur, out)
 			}
-			s.stats.NativeCalls++
-			if s.trace != nil {
-				s.trace(TraceStep{Rule: Rule{Label: "native:" + cur.Sym}, Before: cur, After: out})
-			}
-			return out, true, nil
+		}
+		return s.stepRootMatchBind(cur)
+	}
+	d := s.disp[cur.Sym]
+	if d.native != nil {
+		if out, applied := d.native(cur.Args); applied {
+			return s.fireNative(cur, out)
 		}
 	}
+	if d.tr == nil {
+		return nil, false, nil
+	}
+	ri, frame := s.tm.match(d.tr, cur, len(s.prog.rules))
+	if ri < 0 {
+		return nil, false, nil
+	}
+	if err := s.spend(cur); err != nil {
+		return nil, false, err
+	}
+	s.stats.RuleFires++
+	var in *term.Interner
+	if s.memo != nil {
+		in = s.intern
+	}
+	var out *term.Term
+	out, s.buildStack = s.prog.tmpls[ri].build(frame, in, s.buildStack)
+	if s.trace != nil {
+		s.trace(TraceStep{Rule: s.prog.rules[ri], Before: cur, After: out})
+	}
+	return out, true, nil
+}
+
+// fireNative accounts for one successful native evaluation.
+func (s *System) fireNative(cur, out *term.Term) (*term.Term, bool, error) {
+	if err := s.spend(cur); err != nil {
+		return nil, false, err
+	}
+	s.stats.NativeCalls++
+	if s.trace != nil {
+		s.trace(TraceStep{Rule: Rule{Label: "native:" + cur.Sym}, Before: cur, After: out})
+	}
+	return out, true, nil
+}
+
+// stepRootMatchBind is the pre-automaton matching loop: try each
+// candidate rule in priority order with one-way structural matching.
+func (s *System) stepRootMatchBind(cur *term.Term) (*term.Term, bool, error) {
 	for _, ri := range s.candidates(cur.Sym) {
 		r := &s.prog.rules[ri]
 		b, ok := subst.MatchBind(r.LHS, cur, s.bindBuf[:0])
@@ -552,11 +669,7 @@ func (s *System) stepRoot(cur *term.Term) (*term.Term, bool, error) {
 
 func (s *System) candidates(head string) []int {
 	if s.noIndex {
-		all := make([]int, len(s.prog.rules))
-		for i := range all {
-			all[i] = i
-		}
-		return all
+		return s.prog.allRules
 	}
 	return s.prog.index[head]
 }

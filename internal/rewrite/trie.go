@@ -1,0 +1,252 @@
+// Discrimination-tree matching: the compiled automaton that replaces
+// per-rule structural matching on the rewrite hot path. All rules sharing
+// a head symbol are merged into one left-to-right trie over the preorder
+// traversal of the redex's arguments; a single walk of the redex then
+// dispatches among every candidate rule at once, instead of re-walking
+// the redex once per rule the way subst.MatchBind does.
+//
+// Edges consume one subject subterm each:
+//
+//   - a symbol edge matches an operation application (name + arity), an
+//     atom literal (spelling + sort), or the error value, and descends
+//     into the children;
+//   - a variable edge consumes a whole subterm: a capture edge checks the
+//     sort (and that the subterm is not error — strictness belongs to the
+//     engine, never to axioms) and stores the subterm in an integer slot;
+//     a compare edge re-checks a non-linear pattern's repeated variable
+//     against the slot captured earlier on the same path.
+//
+// Slots are assigned by first-occurrence order along the traversal, so
+// rules sharing a pattern prefix share slot numbers for the shared part
+// and the capture frame is a flat []*term.Term — no name lookups and no
+// subst.Bindings churn while rewriting.
+//
+// Axiom priority (earlier axioms win, matching the paper's practice of
+// listing the specific case before the general one) is preserved by a
+// branch-and-bound walk: every node records the lowest rule index
+// reachable beneath it, the walk explores edges in ascending order of
+// that bound, and a subtree is pruned as soon as its bound cannot beat
+// the best rule already found.
+package rewrite
+
+import (
+	"algspec/internal/sig"
+	"algspec/internal/term"
+)
+
+// trie is the compiled discrimination tree for one head symbol's rule
+// group. It is immutable after compilation and shared by every System
+// forked from the same program.
+type trie struct {
+	root *tnode
+	// slots is the capture-frame size a matcher needs: the maximum number
+	// of captures along any root-to-leaf path.
+	slots int
+	// det marks a deterministic automaton: at every node at most one edge
+	// can match any given subject (no node mixes symbol and variable
+	// edges or offers two variable edges). Deterministic tries — the
+	// common case for constructor-complete specs — take a non-backtracking
+	// walk that needs neither pruning bounds nor frame snapshots.
+	det bool
+}
+
+// tnode is one automaton state. Leaves carry the winning rule; interior
+// nodes carry the outgoing edges. A node is never both (two complete
+// preorder traversals of the same argument count cannot be prefixes of
+// one another).
+type tnode struct {
+	// minRule is the lowest (highest-priority) rule index reachable
+	// through this node; the matcher prunes subtrees whose minRule cannot
+	// improve on the best match found so far.
+	minRule int
+	// rule is the rule index at a leaf, or -1 for interior nodes.
+	rule int
+	// kids are the symbol edges, in ascending minRule order (insertion
+	// order, because rules are inserted by ascending index).
+	kids []symEdge
+	// vars are the variable (capture and compare) edges, ascending
+	// minRule order likewise.
+	vars []varEdge
+}
+
+// symEdge consumes one subject node by shape.
+type symEdge struct {
+	kind  term.Kind // term.Op, term.Atom or term.Err
+	sym   string
+	sort  sig.Sort // checked for atoms only (ops have fixed ranges)
+	nargs int      // checked for ops
+	to    *tnode
+}
+
+// varEdge consumes one whole subject subterm.
+type varEdge struct {
+	sort sig.Sort
+	// slot receives the subterm on a capture edge; -1 on compare edges.
+	slot int
+	// sameAs is the earlier slot a compare edge re-checks, -1 on capture
+	// edges.
+	sameAs int
+	to     *tnode
+}
+
+func newTnode(rule int) *tnode { return &tnode{minRule: rule, rule: -1} }
+
+// trieMatcher is the per-System mutable state of a match: the pending
+// subterm stack, the capture frame, and the best rule found. Buffers are
+// reused across redexes, so steady-state matching allocates nothing.
+type trieMatcher struct {
+	stack     []*term.Term
+	frame     []*term.Term
+	bestFrame []*term.Term
+	best      int
+}
+
+// match runs the automaton over subject's arguments and returns the
+// highest-priority (lowest-index) matching rule with its capture frame,
+// or -1 when no rule matches. The returned frame aliases the matcher's
+// internal buffer; it is valid until the next match call.
+func (m *trieMatcher) match(tr *trie, subject *term.Term, nrules int) (int, []*term.Term) {
+	if cap(m.frame) < tr.slots {
+		m.frame = make([]*term.Term, tr.slots)
+	}
+	m.frame = m.frame[:tr.slots]
+	m.stack = m.stack[:0]
+	for i := len(subject.Args) - 1; i >= 0; i-- {
+		m.stack = append(m.stack, subject.Args[i])
+	}
+	if tr.det {
+		return m.matchDet(tr.root)
+	}
+	m.best = nrules
+	m.explore(tr.root)
+	if m.best < nrules {
+		return m.best, m.bestFrame
+	}
+	return -1, nil
+}
+
+// matchDet is the non-backtracking walk for deterministic tries: each
+// node offers at most one viable edge, so the first leaf reached is the
+// only match and a failed edge means overall failure. No stack restores,
+// no minRule comparisons, and the live frame is returned without a
+// snapshot.
+func (m *trieMatcher) matchDet(n *tnode) (int, []*term.Term) {
+	for n.rule < 0 {
+		top := len(m.stack) - 1
+		t := m.stack[top]
+		m.stack = m.stack[:top]
+		if len(n.vars) == 1 { // det: a var edge is the node's only edge
+			e := &n.vars[0]
+			if t.Kind == term.Err || t.Sort != e.sort {
+				return -1, nil
+			}
+			if e.sameAs >= 0 && !m.frame[e.sameAs].Equal(t) {
+				return -1, nil
+			}
+			if e.slot >= 0 {
+				m.frame[e.slot] = t
+			}
+			n = e.to
+			continue
+		}
+		var next *tnode
+		for i := range n.kids {
+			e := &n.kids[i]
+			if t.Kind != e.kind {
+				continue
+			}
+			switch e.kind {
+			case term.Op:
+				if t.Sym != e.sym || len(t.Args) != e.nargs {
+					continue
+				}
+				for j := len(t.Args) - 1; j >= 0; j-- {
+					m.stack = append(m.stack, t.Args[j])
+				}
+			case term.Atom:
+				if t.Sym != e.sym || t.Sort != e.sort {
+					continue
+				}
+			}
+			// A term.Err edge consumes the subject with no further checks.
+			next = e.to
+			break
+		}
+		if next == nil {
+			return -1, nil
+		}
+		n = next
+	}
+	return n.rule, m.frame
+}
+
+// explore walks one automaton state, leaving the stack exactly as it
+// found it so sibling edges can be tried (backtracking). When a leaf
+// improves on the best rule, the frame is snapshotted: a later, failing
+// branch may overwrite shared slots, so the winner's captures must be
+// preserved.
+func (m *trieMatcher) explore(n *tnode) {
+	if n.rule >= 0 {
+		if n.rule < m.best {
+			m.best = n.rule
+			m.bestFrame = append(m.bestFrame[:0], m.frame...)
+		}
+		return
+	}
+	top := len(m.stack) - 1
+	t := m.stack[top]
+	for i := range n.kids {
+		e := &n.kids[i]
+		if e.to.minRule >= m.best {
+			break // kids are sorted by minRule: nothing better remains
+		}
+		if t.Kind != e.kind {
+			continue
+		}
+		switch e.kind {
+		case term.Op:
+			if t.Sym != e.sym || len(t.Args) != e.nargs {
+				continue
+			}
+			m.stack = m.stack[:top]
+			for j := len(t.Args) - 1; j >= 0; j-- {
+				m.stack = append(m.stack, t.Args[j])
+			}
+			m.explore(e.to)
+			m.stack = m.stack[:top]
+			m.stack = append(m.stack, t)
+		case term.Atom:
+			if t.Sym != e.sym || t.Sort != e.sort {
+				continue
+			}
+			m.stack = m.stack[:top]
+			m.explore(e.to)
+			m.stack = append(m.stack, t)
+		case term.Err:
+			m.stack = m.stack[:top]
+			m.explore(e.to)
+			m.stack = append(m.stack, t)
+		}
+		break // edge keys are distinct: at most one symbol edge matches
+	}
+	for i := range n.vars {
+		e := &n.vars[i]
+		if e.to.minRule >= m.best {
+			break
+		}
+		// A variable never captures error (strictness is the engine's
+		// rule) and is sort-respecting, exactly like subst.MatchBind.
+		if t.Kind == term.Err || t.Sort != e.sort {
+			continue
+		}
+		if e.sameAs >= 0 && !m.frame[e.sameAs].Equal(t) {
+			continue
+		}
+		if e.slot >= 0 {
+			m.frame[e.slot] = t
+		}
+		m.stack = m.stack[:top]
+		m.explore(e.to)
+		m.stack = append(m.stack, t)
+	}
+}

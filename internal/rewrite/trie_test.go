@@ -1,0 +1,198 @@
+package rewrite_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"algspec/internal/core"
+	"algspec/internal/gen"
+	"algspec/internal/rewrite"
+	"algspec/internal/spec"
+	"algspec/internal/speclib"
+	"algspec/internal/term"
+)
+
+// diffEnv loads the whole embedded library plus every shipped .spec file,
+// so the differential test quantifies over all bundled specifications.
+func diffEnv(t *testing.T) (*core.Env, []string) {
+	t.Helper()
+	env := core.NewEnv()
+	env.MustLoad(speclib.Sources...)
+	names := append([]string(nil), speclib.Names...)
+	files, err := filepath.Glob(filepath.Join("..", "..", "specs", "*.spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no shipped .spec files found")
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sps, err := env.Load(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		for _, sp := range sps {
+			names = append(names, sp.Name)
+		}
+	}
+	return env, names
+}
+
+// groundWorkload builds a deterministic list of ground extension terms for
+// the spec: exhaustive instantiations at a small depth plus random deeper
+// terms, both from the generator the checkers use.
+func groundWorkload(t *testing.T, sp *spec.Spec) []*term.Term {
+	t.Helper()
+	g := gen.New(sp, gen.Config{})
+	var items []*term.Term
+	for _, op := range sp.Sig.Ops() {
+		if op.Native || sp.IsConstructor(op.Name) {
+			continue
+		}
+		vars := make([]*term.Term, len(op.Domain))
+		for i, d := range op.Domain {
+			vars[i] = term.NewVar(fmt.Sprintf("x%d", i), d)
+		}
+		for _, inst := range g.Instantiations(vars, 3, 80) {
+			args := make([]*term.Term, len(vars))
+			for i, v := range vars {
+				args[i] = inst[v.Sym]
+			}
+			items = append(items, term.NewOp(op.Name, op.Range, args...))
+		}
+		// Deeper random arguments extend coverage past the exhaustive
+		// bound; the generator's fixed seed keeps the workload stable.
+		for k := 0; k < 20; k++ {
+			args := make([]*term.Term, len(op.Domain))
+			ok := true
+			for i, d := range op.Domain {
+				a, err := g.Random(d, 5)
+				if err != nil {
+					ok = false
+					break
+				}
+				args[i] = a
+			}
+			if ok {
+				items = append(items, term.NewOp(op.Name, op.Range, args...))
+			}
+		}
+	}
+	return items
+}
+
+// TestDiscTreeDifferential proves the compiled matching automaton
+// semantically identical to the per-rule MatchBind reference: for every
+// bundled specification and a generated ground workload, both engines
+// must produce the same normal form through the same rule-application
+// sequence (same rules, same order — priority preservation included).
+func TestDiscTreeDifferential(t *testing.T) {
+	env, names := diffEnv(t)
+	for _, name := range names {
+		sp := env.MustGet(name)
+		t.Run(name, func(t *testing.T) {
+			var gotTrace, wantTrace []string
+			trie := rewrite.New(sp, rewrite.WithTrace(func(ts rewrite.TraceStep) {
+				gotTrace = append(gotTrace, ts.Rule.Label)
+			}))
+			ref := rewrite.New(sp, rewrite.WithoutDiscTree(), rewrite.WithTrace(func(ts rewrite.TraceStep) {
+				wantTrace = append(wantTrace, ts.Rule.Label)
+			}))
+			items := groundWorkload(t, sp)
+			if len(items) == 0 {
+				t.Skipf("no ground extension terms for %s", name)
+			}
+			for _, it := range items {
+				gotTrace, wantTrace = gotTrace[:0], wantTrace[:0]
+				gotNF, gotErr := trie.Normalize(it)
+				wantNF, wantErr := ref.Normalize(it)
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("%s: error mismatch: trie=%v ref=%v", it, gotErr, wantErr)
+				}
+				if gotErr != nil {
+					continue
+				}
+				if !gotNF.Equal(wantNF) {
+					t.Fatalf("%s: normal forms differ:\n  trie: %s\n  ref:  %s", it, gotNF, wantNF)
+				}
+				if len(gotTrace) != len(wantTrace) {
+					t.Fatalf("%s: trace length differs: trie=%d ref=%d\n trie=%v\n ref=%v",
+						it, len(gotTrace), len(wantTrace), gotTrace, wantTrace)
+				}
+				for i := range gotTrace {
+					if gotTrace[i] != wantTrace[i] {
+						t.Fatalf("%s: rule order differs at step %d: trie fired [%s], ref fired [%s]",
+							it, i, gotTrace[i], wantTrace[i])
+					}
+				}
+			}
+			if trie.Stats().Steps != ref.Stats().Steps {
+				t.Fatalf("step counters diverged: trie=%d ref=%d", trie.Stats().Steps, ref.Stats().Steps)
+			}
+		})
+	}
+}
+
+// TestDiscTreePriorityOverlap pins the priority rule down on a spec whose
+// axioms overlap: f(zero) is matched by both [hit] and the later
+// catch-all [any]; the earlier axiom must win, in both engines.
+func TestDiscTreePriorityOverlap(t *testing.T) {
+	env := core.NewEnv()
+	env.MustLoad(speclib.Bool, speclib.Nat)
+	if _, err := env.Load(`
+spec Pri
+  uses Nat
+
+  ops
+    f : Nat -> Nat
+
+  vars
+    n : Nat
+
+  axioms
+    [hit] f(zero) = zero
+    [any] f(n) = succ(n)
+end
+`); err != nil {
+		t.Fatal(err)
+	}
+	sp := env.MustGet("Pri")
+	for _, mk := range []struct {
+		name string
+		opts []rewrite.Option
+	}{
+		{"disctree", nil},
+		{"matchbind", []rewrite.Option{rewrite.WithoutDiscTree()}},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			var fired []string
+			opts := append([]rewrite.Option{rewrite.WithTrace(func(ts rewrite.TraceStep) {
+				fired = append(fired, ts.Rule.Label)
+			})}, mk.opts...)
+			sys := rewrite.New(sp, opts...)
+			zero := term.NewOp("zero", "Nat")
+			nf := sys.MustNormalize(term.NewOp("f", "Nat", zero))
+			if !nf.Equal(zero) {
+				t.Fatalf("f(zero) = %s, want zero (the earlier axiom must win)", nf)
+			}
+			if len(fired) != 1 || fired[0] != "hit" {
+				t.Fatalf("fired %v, want exactly [hit]", fired)
+			}
+			fired = fired[:0]
+			one := term.NewOp("succ", "Nat", zero)
+			nf = sys.MustNormalize(term.NewOp("f", "Nat", one))
+			if !nf.Equal(term.NewOp("succ", "Nat", one)) {
+				t.Fatalf("f(succ(zero)) = %s, want succ(succ(zero))", nf)
+			}
+			if len(fired) != 1 || fired[0] != "any" {
+				t.Fatalf("fired %v, want exactly [any]", fired)
+			}
+		})
+	}
+}

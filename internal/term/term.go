@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"algspec/internal/sig"
 )
@@ -73,7 +74,20 @@ type Term struct {
 	// ground caches IsGround for interned nodes (computed once at intern
 	// time from the canonical arguments).
 	ground bool
+	// nfTag is an advisory normal-form mark: a rewrite system stamps its
+	// generation token here once the term is known to be its own normal
+	// form under that system's (immutable) rule program. Accessed
+	// atomically because parallel workers share subterm spines; a stale
+	// or foreign token is merely a cache miss, never an error.
+	nfTag uint32
 }
+
+// NormalTag reads the advisory normal-form token (see MarkNormalTag).
+func (t *Term) NormalTag() uint32 { return atomic.LoadUint32(&t.nfTag) }
+
+// MarkNormalTag stamps the advisory normal-form token. Only the rewrite
+// engine should call this, with a token unique to one compiled system.
+func (t *Term) MarkNormalTag(tag uint32) { atomic.StoreUint32(&t.nfTag, tag) }
 
 // NewOp builds an operation application.
 func NewOp(name string, sort sig.Sort, args ...*Term) *Term {
