@@ -65,6 +65,8 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) int {
 		err = cmdProve(args[1:], out)
 	case "cover":
 		err = cmdCover(args[1:], out)
+	case "test":
+		err = cmdTest(args[1:], out)
 	case "repl":
 		err = cmdRepl(args[1:], stdin, out)
 	case "help", "-h", "--help":
@@ -105,6 +107,12 @@ subcommands:
   cover   [-lib] [-spec NAME] [-depth N] [file ...]
                                      axiom coverage under the generated
                                      workload (reports dead axioms)
+  test    [-spec NAME] [-n N] [-depth N] [-seed N] [-workers N]
+          [-mutate] [-diff=false] [file ...]
+                                     property-test specs: axioms as random
+                                     oracles (with shrinking and seed
+                                     replay), differential engine runs,
+                                     and optional mutation smoke
 `)
 }
 

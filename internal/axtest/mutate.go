@@ -1,0 +1,149 @@
+package axtest
+
+import (
+	"fmt"
+	"strings"
+
+	"algspec/internal/gen"
+	"algspec/internal/rewrite"
+	"algspec/internal/spec"
+	"algspec/internal/term"
+)
+
+// Mutant records one perturbed axiom and whether the oracle caught it.
+type Mutant struct {
+	// Label is the mutated axiom's label.
+	Label string
+	// Original and Mutated are the axiom's RHS before and after.
+	Original, Mutated *term.Term
+	// Killed reports whether the oracle detected the mutation.
+	Killed bool
+	// Evidence is the first oracle failure that killed the mutant (nil
+	// when the kill came from a normalization error, or when it survived).
+	Evidence *Failure
+}
+
+// MutationReport is the outcome of the mutation smoke mode.
+type MutationReport struct {
+	Spec    string
+	Seed    int64
+	Mutants []*Mutant
+	// Skipped lists axioms no mutant could be built for.
+	Skipped []string
+}
+
+// Killed counts detected mutants.
+func (r *MutationReport) Killed() int {
+	n := 0
+	for _, m := range r.Mutants {
+		if m.Killed {
+			n++
+		}
+	}
+	return n
+}
+
+// OK reports whether at least one mutant was built and all were killed.
+func (r *MutationReport) OK() bool {
+	return len(r.Mutants) > 0 && r.Killed() == len(r.Mutants)
+}
+
+// String renders one line per mutant plus a kill-rate summary.
+func (r *MutationReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mutation smoke of %s: %d/%d mutant(s) killed, seed %d: ",
+		r.Spec, r.Killed(), len(r.Mutants), r.Seed)
+	if r.OK() {
+		b.WriteString("OK")
+	} else {
+		b.WriteString("FAIL")
+	}
+	for _, m := range r.Mutants {
+		verdict := "killed"
+		if !m.Killed {
+			verdict = "SURVIVED"
+		}
+		fmt.Fprintf(&b, "\n  [%s] rhs %s -> %s: %s", m.Label, m.Original, m.Mutated, verdict)
+	}
+	for _, s := range r.Skipped {
+		fmt.Fprintf(&b, "\n  skipped: %s", s)
+	}
+	return b.String()
+}
+
+// CheckMutations proves the oracle has teeth: for each own axiom of the
+// spec, it compiles a mutant engine whose copy of that axiom has a
+// perturbed RHS, then runs the ORIGINAL spec's axioms as oracles against
+// the mutant engine. A healthy harness kills every mutant — the mutated
+// rule makes at least the mutated axiom itself normalize to something its
+// original RHS does not. Checking the mutant spec's own axioms against
+// itself would detect nothing (rules trivially satisfy themselves), which
+// is why the original axioms stay the oracle.
+func CheckMutations(sp *spec.Spec, cfg Config) *MutationReport {
+	cfg = cfg.withDefaults()
+	rep := &MutationReport{Spec: sp.Name, Seed: cfg.Seed}
+	g := gen.New(sp, gen.Config{Seed: cfg.Seed})
+	for _, ax := range sp.Own {
+		mutated, ok := mutateRHS(g, ax)
+		if !ok {
+			rep.Skipped = append(rep.Skipped,
+				fmt.Sprintf("axiom [%s]: no distinct replacement RHS available", ax.Label))
+			continue
+		}
+		msys := rewrite.New(cloneWithMutation(sp, ax, mutated))
+		ocfg := cfg
+		ocfg.System = msys
+		ocfg.MaxFailures = 1
+		orep := CheckAxioms(sp, ocfg)
+		m := &Mutant{Label: ax.Label, Original: ax.RHS, Mutated: mutated, Killed: !orep.OK()}
+		if len(orep.Failures) > 0 {
+			m.Evidence = orep.Failures[0]
+		}
+		rep.Mutants = append(rep.Mutants, m)
+	}
+	return rep
+}
+
+// mutateRHS builds a perturbed RHS that provably differs from the
+// original: non-error RHSs become the error value, error RHSs become the
+// minimal ground term of the axiom's sort.
+func mutateRHS(g *gen.Generator, ax *spec.Axiom) (*term.Term, bool) {
+	if !ax.RHS.IsErr() {
+		so := ax.RHS.Sort
+		if so == "" {
+			so = ax.LHS.Sort
+		}
+		return term.NewErr(so), true
+	}
+	so := ax.RHS.Sort
+	if so == "" {
+		so = ax.LHS.Sort
+	}
+	min, ok := g.Minimal(so)
+	if !ok {
+		return nil, false
+	}
+	return min, true
+}
+
+// cloneWithMutation copies the spec with the given axiom's RHS replaced,
+// in both Own and All, leaving the original spec untouched.
+func cloneWithMutation(sp *spec.Spec, ax *spec.Axiom, rhs *term.Term) *spec.Spec {
+	mutant := &spec.Axiom{Label: ax.Label, Owner: ax.Owner, LHS: ax.LHS, RHS: rhs}
+	ns := *sp
+	ns.Own = replaceAxiom(sp.Own, ax, mutant)
+	ns.All = replaceAxiom(sp.All, ax, mutant)
+	return &ns
+}
+
+func replaceAxiom(axs []*spec.Axiom, old, repl *spec.Axiom) []*spec.Axiom {
+	out := make([]*spec.Axiom, len(axs))
+	for i, a := range axs {
+		if a == old {
+			out[i] = repl
+		} else {
+			out[i] = a
+		}
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+package format_test
+
+import (
+	"testing"
+
+	"algspec/internal/format"
+)
+
+// FuzzFormatRoundtrip checks the formatter's contract on arbitrary
+// input: formatting must never panic, and on any input it accepts the
+// output must be a fixpoint — format(format(src)) == format(src) — so
+// `adt fmt -w` converges in one pass.
+func FuzzFormatRoundtrip(f *testing.F) {
+	f.Add("spec Q\n  uses Bool\n\n  ops\n    new : -> Q\n    f   : Q -> Bool\n\n  vars\n    q : Q\n\n  axioms\n    [f1] f(new) = true\nend\n")
+	f.Add("spec Q uses Bool ops c : ->Q  f:Q->Bool vars x:Q axioms f(x)=true end")
+	f.Add("spec A end spec B end")
+	f.Add("spec Q\n  axioms\n    f(x) = if b then 'a:Item else error\nend\n")
+	f.Add("not a spec at all")
+	f.Fuzz(func(t *testing.T, src string) {
+		once, err := format.Source(src)
+		if err != nil {
+			return // rejected input; only accepted inputs carry the contract
+		}
+		twice, err := format.Source(once)
+		if err != nil {
+			t.Fatalf("formatted output no longer parses: %v\n--- output ---\n%s", err, once)
+		}
+		if once != twice {
+			t.Fatalf("format is not a fixpoint:\n--- once ---\n%s\n--- twice ---\n%s", once, twice)
+		}
+	})
+}

@@ -296,6 +296,57 @@ func (g *Generator) random(so sig.Sort, maxDepth int) (*term.Term, error) {
 	return g.op(op.Name, op.Range, args), nil
 }
 
+// Minimal returns the first ground constructor term of the sort at its
+// minimum depth — the canonical "smallest value" (new, zero, 'a, ...).
+// Shrinking in the property harness uses it as the preferred replacement,
+// and the oracle's instance zero binds every variable to it so boundary
+// axioms (empty queue, zero counter) are always exercised regardless of
+// the random draw. ok is false when the sort has no finite ground terms.
+func (g *Generator) Minimal(so sig.Sort) (*term.Term, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	md, ok := g.minDepth[so]
+	if !ok || md >= 1<<30 {
+		return nil, false
+	}
+	ts := g.enumCapped(so, md)
+	if len(ts) == 0 {
+		return nil, false
+	}
+	return ts[0], true
+}
+
+// MinimalAssignment binds every variable to the Minimal term of its sort.
+// ok is false when any variable's sort has no finite ground terms.
+func (g *Generator) MinimalAssignment(vars []*term.Term) (map[string]*term.Term, bool) {
+	out := make(map[string]*term.Term, len(vars))
+	for _, v := range vars {
+		t, ok := g.Minimal(v.Sort)
+		if !ok {
+			return nil, false
+		}
+		out[v.Sym] = t
+	}
+	return out, true
+}
+
+// RandomAssignment draws one random ground term of depth <= maxDepth for
+// each variable. The draw order is the variable order, so assignments are
+// reproducible for a fixed seed.
+func (g *Generator) RandomAssignment(vars []*term.Term, maxDepth int) (map[string]*term.Term, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]*term.Term, len(vars))
+	for _, v := range vars {
+		t, err := g.random(v.Sort, maxDepth)
+		if err != nil {
+			return nil, err
+		}
+		out[v.Sym] = t
+	}
+	return out, nil
+}
+
 // RandomMany returns n random ground terms of the sort.
 func (g *Generator) RandomMany(so sig.Sort, maxDepth, n int) ([]*term.Term, error) {
 	g.mu.Lock()

@@ -1,0 +1,82 @@
+package lang_test
+
+import (
+	"strings"
+	"testing"
+
+	"algspec/internal/lang"
+)
+
+// TestParseErrorPositions pins the line/column reporting of the parser:
+// a malformed spec must point at the offending token, 1-based, so editor
+// integration and the fuzz harness can rely on the coordinates.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		line, col int
+		msgHas    string
+		extraOK   bool // allow follow-on errors after the pinned first one
+	}{
+		{
+			name: "keyword where identifier expected",
+			src:  "spec Q\n  uses\n  ops\nend\n",
+			line: 3, col: 3,
+			msgHas: "expected identifier",
+		},
+		{
+			name: "missing range sort",
+			src:  "spec Q\n  ops\n    f : Q ->\nend\n",
+			line: 4, col: 1,
+			msgHas: "expected identifier, found 'end'",
+		},
+		{
+			name: "unbalanced call in axiom",
+			src:  "spec Q\n  uses Bool\n  vars x : Q\n  axioms\n    f(x = true\nend\n",
+			line: 5, col: 9,
+			msgHas:  "expected ')'",
+			extraOK: true,
+		},
+		{
+			name: "missing end",
+			src:  "spec Q\n  uses Bool",
+			line: 2, col: 12,
+			msgHas: "missing 'end'",
+		},
+		{
+			name: "unterminated axiom label",
+			src:  "spec Q\n  axioms\n    [l1 f(x) = true\nend\n",
+			line: 3, col: 9,
+			msgHas:  "expected ']'",
+			extraOK: true,
+		},
+		{
+			name: "leading junk before spec",
+			src:  "junk\nspec Q\nend\n",
+			line: 1, col: 1,
+			msgHas: "expected 'spec'",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := lang.Parse(tc.src)
+			if err == nil {
+				t.Fatal("malformed spec parsed without error")
+			}
+			list, ok := err.(lang.ErrorList)
+			if !ok || len(list) == 0 {
+				t.Fatalf("err = %v (%T), want non-empty lang.ErrorList", err, err)
+			}
+			if !tc.extraOK && len(list) != 1 {
+				t.Errorf("got %d errors, want 1: %v", len(list), err)
+			}
+			first := list[0]
+			if first.Line != tc.line || first.Col != tc.col {
+				t.Errorf("first error at %d:%d, want %d:%d (%s)", first.Line, first.Col, tc.line, tc.col, first.Msg)
+			}
+			if !strings.Contains(first.Msg, tc.msgHas) {
+				t.Errorf("message %q missing %q", first.Msg, tc.msgHas)
+			}
+		})
+	}
+}

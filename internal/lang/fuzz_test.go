@@ -1,0 +1,74 @@
+package lang_test
+
+import (
+	"strings"
+	"testing"
+
+	"algspec/internal/lang"
+)
+
+// FuzzParseSpec throws arbitrary bytes at the spec parser. The parser
+// must never panic; it must return exactly one of (file, error); and
+// every reported error must carry a sane 1-based source position. The
+// seed corpus under testdata/fuzz/FuzzParseSpec includes regression
+// inputs for the hardening this target drove (deep nesting, stray
+// section keywords, unterminated constructs).
+func FuzzParseSpec(f *testing.F) {
+	f.Add("spec Q\n  uses Bool\n\n  ops\n    new : -> Q\n    f   : Q -> Bool\n\n  vars\n    q : Q\n\n  axioms\n    [f1] f(new) = true\nend\n")
+	f.Add("spec ???")
+	f.Add("spec Q ops f : -> ")
+	f.Add("axioms f(x) =")
+	f.Add("spec Deep axioms " + strings.Repeat("f(", 64) + "x" + strings.Repeat(")", 64) + " = x end")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := lang.Parse(src)
+		if (file == nil) == (err == nil) {
+			t.Fatalf("Parse returned file=%v err=%v; want exactly one", file != nil, err)
+		}
+		checkPositions(t, err)
+
+		// The expression parser shares the grammar's core; same contract.
+		expr, err := lang.ParseExpr(src)
+		if (expr == nil) == (err == nil) {
+			t.Fatalf("ParseExpr returned expr=%v err=%v; want exactly one", expr != nil, err)
+		}
+		checkPositions(t, err)
+	})
+}
+
+func checkPositions(t *testing.T, err error) {
+	t.Helper()
+	if err == nil {
+		return
+	}
+	list, ok := err.(lang.ErrorList)
+	if !ok {
+		t.Fatalf("error is %T, want lang.ErrorList", err)
+	}
+	if len(list) == 0 {
+		t.Fatal("non-nil ErrorList with zero errors")
+	}
+	for _, e := range list {
+		if e.Line < 1 || e.Col < 1 {
+			t.Fatalf("error %q has invalid position %d:%d", e.Msg, e.Line, e.Col)
+		}
+	}
+}
+
+// TestParseDepthGuard pins the nesting bound: adversarially deep input is
+// a syntax error, not a stack overflow.
+func TestParseDepthGuard(t *testing.T) {
+	deep := strings.Repeat("f(", 20000) + "x" + strings.Repeat(")", 20000)
+	_, err := lang.ParseExpr(deep)
+	if err == nil {
+		t.Fatal("no error for 20000-deep nesting")
+	}
+	if !strings.Contains(err.Error(), "nesting exceeds") {
+		t.Errorf("err = %v, want a nesting-depth error", err)
+	}
+	// Reasonable nesting stays fine.
+	ok := strings.Repeat("f(", 100) + "x" + strings.Repeat(")", 100)
+	if _, err := lang.ParseExpr(ok); err != nil {
+		t.Errorf("100-deep nesting rejected: %v", err)
+	}
+}

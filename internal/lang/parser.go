@@ -35,7 +35,15 @@ type parser struct {
 	lx   *lexer
 	tok  token
 	errs ErrorList
+	// depth tracks expression nesting so pathological inputs (deeply
+	// nested calls or conditionals, the kind fuzzing finds) report a
+	// syntax error instead of exhausting the stack.
+	depth int
 }
+
+// maxNestingDepth bounds expression recursion. Hand-written specs stay in
+// the tens; the bound only exists to turn adversarial inputs into errors.
+const maxNestingDepth = 10000
 
 func newParser(src string) *parser {
 	p := &parser{lx: newLexer(src)}
@@ -258,8 +266,21 @@ func (p *parser) axiomsSection(sp *ast.Spec) {
 	}
 }
 
-// expr parses one expression.
+// expr parses one expression, guarding against stack-exhausting nesting.
 func (p *parser) expr() ast.Expr {
+	if p.depth >= maxNestingDepth {
+		pos := p.pos()
+		p.errorf("expression nesting exceeds %d levels", maxNestingDepth)
+		p.next()
+		return &ast.Call{Name: "<error>", Pos: pos}
+	}
+	p.depth++
+	e := p.exprInner()
+	p.depth--
+	return e
+}
+
+func (p *parser) exprInner() ast.Expr {
 	pos := p.pos()
 	switch p.tok.kind {
 	case tokIf:

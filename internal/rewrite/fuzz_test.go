@@ -1,0 +1,50 @@
+package rewrite_test
+
+import (
+	"testing"
+
+	"algspec/internal/core"
+	"algspec/internal/rewrite"
+	"algspec/internal/speclib"
+)
+
+// FuzzNormalize feeds arbitrary term strings to the engine, checked
+// differentially: whatever the input, the compiled discrimination-tree
+// matcher and the MatchBind reference must agree on the outcome — same
+// acceptance, same normal form, same step count — under a small fuel
+// bound so divergent inputs terminate by running out of steps.
+func FuzzNormalize(f *testing.F) {
+	env := core.NewEnv()
+	env.MustLoad(speclib.Sources...)
+
+	f.Add("Queue", "front(add(add(new, 'x), 'y))")
+	f.Add("Queue", "if isEmpty?(new) then front(new) else remove(new)")
+	f.Add("Nat", "addN(succ(zero), succ(zero))")
+	f.Add("Nat", "eqN(pred(zero), zero)")
+	f.Add("Symboltable", "retrieve(init, 'x)")
+	f.Add("Queue", "front(((")
+	f.Add("Queue", "error")
+	f.Fuzz(func(t *testing.T, specName, termSrc string) {
+		sp, ok := env.Get(specName)
+		if !ok {
+			return
+		}
+		tm, err := env.ParseTerm(specName, termSrc)
+		if err != nil {
+			return // not a well-sorted ground term of this spec
+		}
+		trie := rewrite.New(sp, rewrite.WithMaxSteps(5000))
+		ref := rewrite.New(sp, rewrite.WithoutDiscTree(), rewrite.WithMaxSteps(5000))
+		trieNF, trieErr := trie.Normalize(tm)
+		refNF, refErr := ref.Normalize(tm)
+		if (trieErr == nil) != (refErr == nil) {
+			t.Fatalf("engines disagree on acceptance of %s: trie=%v ref=%v", tm, trieErr, refErr)
+		}
+		if trieErr == nil && !trieNF.Equal(refNF) {
+			t.Fatalf("normal forms differ for %s:\n  trie: %s\n  ref:  %s", tm, trieNF, refNF)
+		}
+		if trie.Stats().Steps != ref.Stats().Steps {
+			t.Fatalf("step counts differ for %s: trie=%d ref=%d", tm, trie.Stats().Steps, ref.Stats().Steps)
+		}
+	})
+}

@@ -1,17 +1,26 @@
 // Package specs_test keeps the shipped .spec files honest: each must
-// load against the library, pass both checkers, and evaluate its
-// documented example.
+// load against the library, pass every checker the toolchain has —
+// completeness, consistency (static and ground), the axiom-as-oracle
+// property harness — and, where an implementation or representation is
+// given here, the model checker and the homomorphism verifier too.
 package specs_test
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"algspec/internal/axtest"
 	"algspec/internal/complete"
 	"algspec/internal/consist"
 	"algspec/internal/core"
+	"algspec/internal/homo"
+	"algspec/internal/model"
+	"algspec/internal/sig"
+	"algspec/internal/spec"
 	"algspec/internal/speclib"
+	"algspec/internal/term"
 )
 
 func loadAll(t *testing.T) (*core.Env, []string) {
@@ -54,6 +63,43 @@ func TestShippedSpecsCheckClean(t *testing.T) {
 		}
 		if r := complete.CheckDynamic(sp, complete.DynamicConfig{Depth: 3, MaxTermsPerOp: 300}); !r.OK() {
 			t.Errorf("%s: %s", name, r)
+		}
+		if r := consist.CheckGround(sp, consist.GroundConfig{Depth: 3, MaxTermsPerOp: 300}); !r.OK() {
+			t.Errorf("%s: %s", name, r)
+		}
+	}
+}
+
+// TestShippedSpecsOracle runs the property harness over every shipped
+// spec: each axiom, instantiated with generated ground values, must hold
+// under normalization. A fixed seed keeps the run reproducible.
+func TestShippedSpecsOracle(t *testing.T) {
+	env, names := loadAll(t)
+	for _, name := range names {
+		sp := env.MustGet(name)
+		rep := axtest.CheckAxioms(sp, axtest.Config{N: 32, Seed: 7})
+		if !rep.OK() {
+			t.Errorf("%s:\n%s", name, rep)
+		}
+		if rep.Instances == 0 {
+			t.Errorf("%s: oracle checked zero instances", name)
+		}
+	}
+}
+
+// TestShippedSpecsEnginesAgree runs the differential driver over every
+// shipped spec: all engine configurations must agree on every corpus
+// term.
+func TestShippedSpecsEnginesAgree(t *testing.T) {
+	env, names := loadAll(t)
+	for _, name := range names {
+		sp := env.MustGet(name)
+		rep := axtest.CheckEngines(sp, axtest.DiffConfig{Depth: 2, PerOp: 40, RandomPerOp: 10, Seed: 7})
+		if !rep.OK() {
+			t.Errorf("%s:\n%s", name, rep)
+		}
+		if rep.Corpus == 0 {
+			t.Errorf("%s: differential corpus is empty", name)
 		}
 	}
 }
@@ -98,5 +144,530 @@ func TestPQueueOrderIndependence(t *testing.T) {
 		if got := env.MustEval("PQueue", "minpq(deleteMin("+tm+"))"); got.String() != "succ(zero)" {
 			t.Errorf("perm %v: second min = %s", p, got)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Model checking: native Go implementations of the shipped specs, tested
+// against nothing but the axioms (the paper's §5 discipline). The tiny
+// adapter kit below mirrors internal/adt/adapters without importing its
+// unexported plumbing, so this package stays a client of public APIs.
+// ---------------------------------------------------------------------
+
+type opTable map[string]func(args []model.Value) (model.Value, error)
+
+func (t opTable) apply(op string, args []model.Value) (model.Value, error) {
+	f, ok := t[op]
+	if !ok {
+		return nil, fmt.Errorf("specs_test: operation %s not implemented", op)
+	}
+	return f(args)
+}
+
+func asBool(v model.Value) (bool, error) {
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("specs_test: want bool, got %T", v)
+	}
+	return b, nil
+}
+
+func asInt(v model.Value) (int, error) {
+	n, ok := v.(int)
+	if !ok {
+		return 0, fmt.Errorf("specs_test: want int, got %T", v)
+	}
+	return n, nil
+}
+
+func asString(v model.Value) (string, error) {
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("specs_test: want string, got %T", v)
+	}
+	return s, nil
+}
+
+func boolOps(t opTable) {
+	t["true"] = func([]model.Value) (model.Value, error) { return true, nil }
+	t["false"] = func([]model.Value) (model.Value, error) { return false, nil }
+	t["not"] = func(a []model.Value) (model.Value, error) {
+		b, err := asBool(a[0])
+		return !b, err
+	}
+	t["and"] = func(a []model.Value) (model.Value, error) {
+		x, err := asBool(a[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := asBool(a[1])
+		return x && y, err
+	}
+	t["or"] = func(a []model.Value) (model.Value, error) {
+		x, err := asBool(a[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := asBool(a[1])
+		return x || y, err
+	}
+}
+
+func natOps(t opTable) {
+	t["zero"] = func([]model.Value) (model.Value, error) { return 0, nil }
+	t["succ"] = func(a []model.Value) (model.Value, error) {
+		n, err := asInt(a[0])
+		return n + 1, err
+	}
+	t["pred"] = func(a []model.Value) (model.Value, error) {
+		n, err := asInt(a[0])
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return model.ErrValue, nil
+		}
+		return n - 1, nil
+	}
+	t["addN"] = func(a []model.Value) (model.Value, error) {
+		m, err := asInt(a[0])
+		if err != nil {
+			return nil, err
+		}
+		n, err := asInt(a[1])
+		return m + n, err
+	}
+	t["eqN"] = func(a []model.Value) (model.Value, error) {
+		m, err := asInt(a[0])
+		if err != nil {
+			return nil, err
+		}
+		n, err := asInt(a[1])
+		return m == n, err
+	}
+	t["ltN"] = func(a []model.Value) (model.Value, error) {
+		m, err := asInt(a[0])
+		if err != nil {
+			return nil, err
+		}
+		n, err := asInt(a[1])
+		return m < n, err
+	}
+}
+
+func stdReify(sp *spec.Spec) func(so sig.Sort, v model.Value) (*term.Term, bool, error) {
+	return func(so sig.Sort, v model.Value) (*term.Term, bool, error) {
+		switch {
+		case so == sig.BoolSort:
+			b, err := asBool(v)
+			if err != nil {
+				return nil, false, err
+			}
+			return term.Bool(b), true, nil
+		case so == "Nat" && sp.Sig.HasSort("Nat"):
+			n, err := asInt(v)
+			if err != nil {
+				return nil, false, err
+			}
+			t := term.NewOp("zero", "Nat")
+			for i := 0; i < n; i++ {
+				t = term.NewOp("succ", "Nat", t)
+			}
+			return t, true, nil
+		case sp.Sig.IsAtomSort(so) || sp.Sig.IsParam(so):
+			s, err := asString(v)
+			if err != nil {
+				return nil, false, err
+			}
+			return term.NewAtom(s, so), true, nil
+		default:
+			return nil, false, nil
+		}
+	}
+}
+
+func buildImpl(sp *spec.Spec, t opTable) *model.Impl {
+	return &model.Impl{
+		SpecName: sp.Name,
+		Apply:    t.apply,
+		Atom: func(so sig.Sort, spelling string) (model.Value, error) {
+			return spelling, nil
+		},
+		Reify: stdReify(sp),
+	}
+}
+
+// counterImpl represents a Counter as the int count of net increments;
+// undo on zero is the boundary error.
+func counterImpl(sp *spec.Spec) *model.Impl {
+	t := opTable{}
+	boolOps(t)
+	natOps(t)
+	t["start"] = func([]model.Value) (model.Value, error) { return 0, nil }
+	t["inc"] = func(a []model.Value) (model.Value, error) {
+		c, err := asInt(a[0])
+		return c + 1, err
+	}
+	t["undo"] = func(a []model.Value) (model.Value, error) {
+		c, err := asInt(a[0])
+		if err != nil {
+			return nil, err
+		}
+		if c == 0 {
+			return model.ErrValue, nil
+		}
+		return c - 1, nil
+	}
+	t["value"] = func(a []model.Value) (model.Value, error) {
+		c, err := asInt(a[0])
+		return c, err
+	}
+	return buildImpl(sp, t)
+}
+
+// graphImpl represents a Graph as an (immutable) slice of directed edges
+// over Identifier spellings.
+type graphEdge struct{ from, to string }
+
+func graphImpl(sp *spec.Spec) *model.Impl {
+	t := opTable{}
+	boolOps(t)
+	t["same?"] = func(a []model.Value) (model.Value, error) {
+		x, err := asString(a[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := asString(a[1])
+		return x == y, err
+	}
+	asG := func(v model.Value) ([]graphEdge, error) {
+		g, ok := v.([]graphEdge)
+		if !ok {
+			return nil, fmt.Errorf("specs_test: want graph, got %T", v)
+		}
+		return g, nil
+	}
+	t["emptyg"] = func([]model.Value) (model.Value, error) { return []graphEdge{}, nil }
+	t["addEdge"] = func(a []model.Value) (model.Value, error) {
+		g, err := asG(a[0])
+		if err != nil {
+			return nil, err
+		}
+		from, err := asString(a[1])
+		if err != nil {
+			return nil, err
+		}
+		to, err := asString(a[2])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]graphEdge, len(g), len(g)+1)
+		copy(out, g)
+		return append(out, graphEdge{from, to}), nil
+	}
+	t["hasEdge?"] = func(a []model.Value) (model.Value, error) {
+		g, err := asG(a[0])
+		if err != nil {
+			return nil, err
+		}
+		from, err := asString(a[1])
+		if err != nil {
+			return nil, err
+		}
+		to, err := asString(a[2])
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range g {
+			if e.from == from && e.to == to {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	return buildImpl(sp, t)
+}
+
+// pqueueImpl represents a PQueue as an ascending-sorted int slice
+// (a multiset: duplicates are kept).
+func pqueueImpl(sp *spec.Spec) *model.Impl {
+	t := opTable{}
+	boolOps(t)
+	natOps(t)
+	asQ := func(v model.Value) ([]int, error) {
+		q, ok := v.([]int)
+		if !ok {
+			return nil, fmt.Errorf("specs_test: want pqueue, got %T", v)
+		}
+		return q, nil
+	}
+	t["emptypq"] = func([]model.Value) (model.Value, error) { return []int{}, nil }
+	t["insertpq"] = func(a []model.Value) (model.Value, error) {
+		q, err := asQ(a[0])
+		if err != nil {
+			return nil, err
+		}
+		n, err := asInt(a[1])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int, 0, len(q)+1)
+		i := 0
+		for ; i < len(q) && q[i] <= n; i++ {
+			out = append(out, q[i])
+		}
+		out = append(out, n)
+		return append(out, q[i:]...), nil
+	}
+	t["minpq"] = func(a []model.Value) (model.Value, error) {
+		q, err := asQ(a[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(q) == 0 {
+			return model.ErrValue, nil
+		}
+		return q[0], nil
+	}
+	t["deleteMin"] = func(a []model.Value) (model.Value, error) {
+		q, err := asQ(a[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(q) == 0 {
+			return model.ErrValue, nil
+		}
+		out := make([]int, len(q)-1)
+		copy(out, q[1:])
+		return out, nil
+	}
+	t["isEmptyPQ?"] = func(a []model.Value) (model.Value, error) {
+		q, err := asQ(a[0])
+		return len(q) == 0, err
+	}
+	return buildImpl(sp, t)
+}
+
+// TestShippedSpecsModelCheck runs both model checks for each shipped
+// spec's Go implementation: the axioms must hold on the implementation,
+// and the implementation must agree with the symbolic interpretation on
+// every ground observer term.
+func TestShippedSpecsModelCheck(t *testing.T) {
+	env, _ := loadAll(t)
+	impls := []struct {
+		spec  string
+		build func(*spec.Spec) *model.Impl
+	}{
+		{"Counter", counterImpl},
+		{"Graph", graphImpl},
+		{"PQueue", pqueueImpl},
+	}
+	for _, im := range impls {
+		t.Run(im.spec, func(t *testing.T) {
+			sp := env.MustGet(im.spec)
+			impl := im.build(sp)
+			cfg := model.Config{Depth: 3, MaxInstancesPerAxiom: 400}
+			if r := model.CheckAxioms(sp, impl, cfg); !r.OK() {
+				t.Errorf("CheckAxioms: %s", r)
+			}
+			if r := model.CheckAgainstSpec(sp, impl, cfg); !r.OK() {
+				t.Errorf("CheckAgainstSpec: %s", r)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Homomorphism verification: each shipped spec gets a concrete
+// representation spec (the implementation written algebraically) and an
+// abstraction function Φ, and the verifier discharges every abstract
+// axiom under the interpretation — the paper's §4 proof obligation,
+// mechanized.
+// ---------------------------------------------------------------------
+
+// counterImplSpec represents a Counter directly as the Nat it counts:
+// Φ(zero) = start, Φ(succ(n)) = inc(Φ(n)).
+const counterImplSpec = `
+spec CounterImpl
+  uses Bool, Nat
+
+  ops
+    start' : -> Nat
+    inc'   : Nat -> Nat
+    undo'  : Nat -> Nat
+    value' : Nat -> Nat
+
+  vars
+    n : Nat
+
+  axioms
+    [s1] start' = zero
+    [i1] inc'(n) = succ(n)
+    [u1] undo'(n) = pred(n)
+    [v1] value'(n) = n
+end
+`
+
+// graphImplSpec represents a Graph as a raw edge list; Φ folds consEL
+// back into addEdge.
+const graphImplSpec = `
+spec GraphImpl
+  uses Bool, Identifier
+
+  sorts
+    EdgeList
+
+  ops
+    nilEL     : -> EdgeList
+    consEL    : EdgeList, Identifier, Identifier -> EdgeList
+    emptyg'   : -> EdgeList
+    addEdge'  : EdgeList, Identifier, Identifier -> EdgeList
+    hasEdge'? : EdgeList, Identifier, Identifier -> Bool
+
+  vars
+    l : EdgeList
+    a, b, x, y : Identifier
+
+  axioms
+    [g1] emptyg' = nilEL
+    [g2] addEdge'(l, a, b) = consEL(l, a, b)
+    [h1] hasEdge'?(nilEL, x, y) = false
+    [h2] hasEdge'?(consEL(l, a, b), x, y) = if and(same?(a, x), same?(b, y)) then true else hasEdge'?(l, x, y)
+end
+`
+
+// pqueueImplSpec represents a PQueue as an ascending-sorted Nat list
+// (insertion maintains order; min and deleteMin are head and tail);
+// Φ folds consNL back into insertpq, which makes the representation
+// unconditionally correct — Φ re-sorts whatever the list shape is.
+const pqueueImplSpec = `
+spec PQueueImpl
+  uses Bool, Nat
+
+  sorts
+    NatList
+
+  ops
+    nilNL       : -> NatList
+    consNL      : Nat, NatList -> NatList
+    emptypq'    : -> NatList
+    insertpq'   : NatList, Nat -> NatList
+    minpq'      : NatList -> Nat
+    deleteMin'  : NatList -> NatList
+    isEmptyPQ'? : NatList -> Bool
+
+  vars
+    l : NatList
+    m, n : Nat
+
+  axioms
+    [p1] emptypq' = nilNL
+    [p2] insertpq'(nilNL, n) = consNL(n, nilNL)
+    [p3] insertpq'(consNL(m, l), n) = if ltN(n, m) then consNL(n, consNL(m, l)) else consNL(m, insertpq'(l, n))
+    [q1] isEmptyPQ'?(nilNL) = true
+    [q2] isEmptyPQ'?(consNL(n, l)) = false
+    [m1] minpq'(nilNL) = error
+    [m2] minpq'(consNL(n, l)) = n
+    [d1] deleteMin'(nilNL) = error
+    [d2] deleteMin'(consNL(n, l)) = l
+end
+`
+
+// TestShippedSpecsRepresentations verifies each representation's
+// homomorphism: every abstract axiom must hold under the concrete
+// interpretation, for all generated representation values.
+func TestShippedSpecsRepresentations(t *testing.T) {
+	env, _ := loadAll(t)
+	for _, src := range []string{counterImplSpec, graphImplSpec, pqueueImplSpec} {
+		if _, err := env.Load(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reps := []struct {
+		name string
+		rep  homo.Representation
+	}{
+		{
+			name: "CounterAsNat",
+			rep: homo.Representation{
+				Abstract: env.MustGet("Counter"),
+				Concrete: env.MustGet("CounterImpl"),
+				AbsSort:  "Counter",
+				RepSort:  "Nat",
+				OpMap: map[string]string{
+					"start": "start'",
+					"inc":   "inc'",
+					"undo":  "undo'",
+					"value": "value'",
+				},
+				PhiRules: [][2]string{
+					{"phi(zero)", "start"},
+					{"phi(succ(n))", "inc(phi(n))"},
+				},
+				PhiVars: map[string]sig.Sort{"n": "Nat"},
+			},
+		},
+		{
+			name: "GraphAsEdgeList",
+			rep: homo.Representation{
+				Abstract: env.MustGet("Graph"),
+				Concrete: env.MustGet("GraphImpl"),
+				AbsSort:  "Graph",
+				RepSort:  "EdgeList",
+				OpMap: map[string]string{
+					"emptyg":   "emptyg'",
+					"addEdge":  "addEdge'",
+					"hasEdge?": "hasEdge'?",
+				},
+				PhiRules: [][2]string{
+					{"phi(nilEL)", "emptyg"},
+					{"phi(consEL(l, a, b))", "addEdge(phi(l), a, b)"},
+				},
+				PhiVars: map[string]sig.Sort{
+					"l": "EdgeList",
+					"a": "Identifier",
+					"b": "Identifier",
+				},
+			},
+		},
+		{
+			name: "PQueueAsNatList",
+			rep: homo.Representation{
+				Abstract: env.MustGet("PQueue"),
+				Concrete: env.MustGet("PQueueImpl"),
+				AbsSort:  "PQueue",
+				RepSort:  "NatList",
+				OpMap: map[string]string{
+					"emptypq":    "emptypq'",
+					"insertpq":   "insertpq'",
+					"minpq":      "minpq'",
+					"deleteMin":  "deleteMin'",
+					"isEmptyPQ?": "isEmptyPQ'?",
+				},
+				PhiRules: [][2]string{
+					{"phi(nilNL)", "emptypq"},
+					{"phi(consNL(n, l))", "insertpq(phi(l), n)"},
+				},
+				PhiVars: map[string]sig.Sort{
+					"n": "Nat",
+					"l": "NatList",
+				},
+			},
+		},
+	}
+	for _, rc := range reps {
+		t.Run(rc.name, func(t *testing.T) {
+			v, err := homo.New(rc.rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := v.Verify(homo.Config{Depth: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK() {
+				t.Errorf("representation not verified:\n%s", rep)
+			}
+		})
 	}
 }
