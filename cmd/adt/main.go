@@ -8,6 +8,7 @@
 //	adt eval -spec NAME [-lib] [-workers N] [file.spec ...] TERM ...
 //	adt trace -spec NAME [-lib] [file.spec ...] TERM ...
 //	adt verify -rep stack|list [-depth N]
+//	adt serve [-addr HOST:PORT] [-workers N] [-fuel N] [-cache N] [-timeout D] [file.spec ...]
 //
 // The -lib flag preloads the embedded specification library (the paper's
 // Queue, Symboltable, Stack, Array, Knowlist and friends); files are
@@ -69,6 +70,8 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) int {
 		err = cmdTest(args[1:], out)
 	case "repl":
 		err = cmdRepl(args[1:], stdin, out)
+	case "serve":
+		err = cmdServe(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return 0
@@ -113,6 +116,10 @@ subcommands:
                                      oracles (with shrinking and seed
                                      replay), differential engine runs,
                                      and optional mutation smoke
+  serve   [-addr HOST:PORT] [-workers N] [-fuel N] [-cache N]
+          [-timeout D] [file ...]    HTTP/JSON evaluation service over the
+                                     library plus the given spec files
+                                     (see README "Serving specs")
 `)
 }
 
@@ -184,10 +191,11 @@ func cmdCheck(args []string, out io.Writer) error {
 	depth := fs.Int("depth", 4, "ground-term depth for the dynamic checks")
 	dynamic := fs.Bool("dynamic", true, "also run the dynamic (ground-term) checks")
 	workers := fs.Int("workers", 0, "worker goroutines for the dynamic checks (0 = GOMAXPROCS)")
-	if err := fs.Parse(args); err != nil {
+	files, err := parseInterleaved(fs, args)
+	if err != nil {
 		return err
 	}
-	env, err := loadEnv(*lib, fs.Args())
+	env, err := loadEnv(*lib, files)
 	if err != nil {
 		return err
 	}
@@ -237,10 +245,10 @@ func cmdEval(args []string, out io.Writer, traced bool) error {
 	specName := fs.String("spec", "", "specification to evaluate against (required)")
 	stats := fs.Bool("stats", false, "print engine work counters (steps, rule fires, memo hits, native calls) after the normal form")
 	workers := fs.Int("workers", 0, "worker goroutines when several terms are given (0 = GOMAXPROCS)")
-	if err := fs.Parse(args); err != nil {
+	rest, err := parseInterleaved(fs, args)
+	if err != nil {
 		return err
 	}
-	rest := fs.Args()
 	if *specName == "" || len(rest) == 0 {
 		return fmt.Errorf("eval requires -spec NAME and at least one TERM argument")
 	}
@@ -311,15 +319,16 @@ func cmdVerify(args []string, out io.Writer) error {
 	repName := fs.String("rep", "stack", "representation to verify: stack (paper's stack of arrays) or list (flat list)")
 	depth := fs.Int("depth", 4, "concrete ground-term depth")
 	assume := fs.Bool("assume", true, "apply the paper's Assumption 1 (stack representation only)")
-	if err := fs.Parse(args); err != nil {
+	pos, err := parseInterleaved(fs, args)
+	if err != nil {
 		return err
+	}
+	if len(pos) > 0 {
+		return fmt.Errorf("verify takes no positional arguments (got %q)", pos[0])
 	}
 
 	env := speclib.BaseEnv()
-	var (
-		v   *homo.Verifier
-		err error
-	)
+	var v *homo.Verifier
 	switch *repName {
 	case "stack":
 		v, err = reps.SymtabAsStack(env, *assume)

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"algspec/internal/serve"
+)
+
+// serveReady, when non-nil, receives the server's bound address once it
+// is listening; serveStop, when non-nil, triggers the same graceful
+// shutdown a SIGINT does. Both exist for the tests, which boot the real
+// subcommand on a kernel-chosen port and must know when it is up and how
+// to stop it without signalling the whole test process.
+var (
+	serveReady chan<- string
+	serveStop  <-chan struct{}
+)
+
+func cmdServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", "localhost:8044", "listen address (host:port; port 0 picks a free one)")
+	workers := fs.Int("workers", 0, "normalization worker goroutines (0 = GOMAXPROCS)")
+	fuel := fs.Int("fuel", 0, "per-request reduction budget and cap on client budgets (0 = engine default)")
+	cacheSize := fs.Int("cache", 0, "shared normal-form cache entries (0 = default, negative = disabled)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request wall-clock deadline (0 = none)")
+	files, err := parseInterleaved(fs, args)
+	if err != nil {
+		return err
+	}
+	extras := make([]string, len(files))
+	for i, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		extras[i] = string(src)
+	}
+	srv, err := serve.New(serve.Config{
+		Workers:   *workers,
+		Fuel:      *fuel,
+		CacheSize: *cacheSize,
+		Timeout:   *timeout,
+	}, extras...)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "adt serve: listening on http://%s (POST /v1/normalize, POST /v1/check, GET /v1/specs, GET /metrics)\n", ln.Addr())
+	if serveReady != nil {
+		serveReady <- ln.Addr().String()
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-serveStop:
+		}
+		// Stop accepting, let in-flight HTTP exchanges finish, then drain
+		// the worker pool (srv.Close, deferred above).
+		shutdownCtx, c := context.WithTimeout(context.Background(), 10*time.Second)
+		defer c()
+		done <- hs.Shutdown(shutdownCtx)
+	}()
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	if err := <-done; err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "adt serve: shut down cleanly")
+	return nil
+}

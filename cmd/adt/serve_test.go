@@ -1,0 +1,108 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeSubcommand boots the real `adt serve` subcommand on a
+// kernel-chosen port, exercises every endpoint over actual TCP, then
+// drives the graceful-shutdown path through the test hook (the same
+// select arm a SIGINT takes).
+func TestServeSubcommand(t *testing.T) {
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	serveReady, serveStop = ready, stop
+	defer func() { serveReady, serveStop = nil, nil }()
+
+	type result struct {
+		code   int
+		out    string
+		errOut string
+	}
+	done := make(chan result, 1)
+	go func() {
+		var out, errOut strings.Builder
+		code := run([]string{"serve", "-addr", "127.0.0.1:0", "-workers", "2", "-timeout", "5s"},
+			strings.NewReader(""), &out, &errOut)
+		done <- result{code, out.String(), errOut.String()}
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never reported ready")
+	}
+	base := "http://" + addr
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	fetch := func(method, path, body string) (int, string) {
+		t.Helper()
+		req, err := http.NewRequest(method, base+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(data)
+	}
+
+	if code, body := fetch("POST", "/v1/normalize",
+		`{"spec":"Queue","term":"front(add(new, 'x))"}`); code != http.StatusOK || !strings.Contains(body, `"'x"`) {
+		t.Errorf("normalize = %d: %s", code, body)
+	}
+	if code, body := fetch("GET", "/v1/specs", ""); code != http.StatusOK || !strings.Contains(body, `"Queue"`) {
+		t.Errorf("specs = %d: %s", code, body)
+	}
+	if code, body := fetch("POST", "/v1/check",
+		`{"source":"spec Toggle\n  uses Bool\n  ops\n    off : -> Toggle\n    on : Toggle -> Toggle\n    lit? : Toggle -> Bool\n  vars t : Toggle\n  axioms\n    [l1] lit?(off) = false\n    [l2] lit?(on(t)) = true\nend\n"}`); code != http.StatusOK ||
+		!strings.Contains(body, `"complete": true`) {
+		t.Errorf("check = %d: %s", code, body)
+	}
+	if code, body := fetch("GET", "/metrics", ""); code != http.StatusOK ||
+		!strings.Contains(body, `adt_requests_total{endpoint="normalize",code="200"} 1`) {
+		t.Errorf("metrics = %d: %s", code, body)
+	}
+
+	close(stop)
+	select {
+	case res := <-done:
+		if res.code != 0 {
+			t.Fatalf("exit = %d, stderr = %q", res.code, res.errOut)
+		}
+		for _, want := range []string{"listening on http://", "shut down cleanly"} {
+			if !strings.Contains(res.out, want) {
+				t.Errorf("output missing %q in:\n%s", want, res.out)
+			}
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// TestServeSubcommandBadSpecFile proves a broken extra source fails at
+// boot, before the listener opens.
+func TestServeSubcommandBadSpecFile(t *testing.T) {
+	bad := writeSpec(t, "bad.spec", "spec Broken\n  this is not a specification\n")
+	code, _, errOut := runWith(t, "serve", "-addr", "127.0.0.1:0", bad)
+	if code == 0 {
+		t.Fatal("serve accepted a broken spec file")
+	}
+	if errOut == "" {
+		t.Fatal("no diagnostic on stderr")
+	}
+}

@@ -140,6 +140,109 @@ func TestSubcommandTable(t *testing.T) {
 	}
 }
 
+// TestInterleavedFlags proves eval, check, verify and test accept flags
+// before or after positional arguments and produce identical output
+// either way (test.go's parseInterleaved, now shared by all four).
+func TestInterleavedFlags(t *testing.T) {
+	shade := writeSpec(t, "shade.spec", shadedSpec)
+	cases := []struct {
+		name          string
+		before, after []string
+		wantCode      int
+		outContains   string
+	}{
+		{
+			name:        "eval flags after term",
+			before:      []string{"eval", "-spec", "Queue", "front(add(new, 'x))"},
+			after:       []string{"eval", "front(add(new, 'x))", "-spec", "Queue"},
+			wantCode:    0,
+			outContains: "'x",
+		},
+		{
+			name:        "eval file and term straddling flags",
+			before:      []string{"eval", "-spec", "Shade", shade, "f(succ(zero))"},
+			after:       []string{"eval", shade, "-spec", "Shade", "f(succ(zero))"},
+			wantCode:    0,
+			outContains: "zero",
+		},
+		{
+			name:        "check file before flags",
+			before:      []string{"check", "-lib", "-dynamic=false", shade},
+			after:       []string{"check", shade, "-lib", "-dynamic=false"},
+			wantCode:    0,
+			outContains: "Shade",
+		},
+		{
+			name:        "test file before flags",
+			before:      []string{"test", "-seed", "7", "-n", "4", "-diff=false", shade},
+			after:       []string{"test", shade, "-seed", "7", "-n", "4", "-diff=false"},
+			wantCode:    0,
+			outContains: "seed 7",
+		},
+		{
+			name:     "verify flags in either order",
+			before:   []string{"verify", "-rep", "list", "-depth", "2"},
+			after:    []string{"verify", "-depth", "2", "-rep", "list"},
+			wantCode: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			codeB, outB, errB := runWith(t, tc.before...)
+			codeA, outA, errA := runWith(t, tc.after...)
+			if codeB != tc.wantCode || codeA != tc.wantCode {
+				t.Fatalf("exit = %d/%d, want %d (stderr %q / %q)", codeB, codeA, tc.wantCode, errB, errA)
+			}
+			if outB != outA {
+				t.Errorf("orderings disagree:\n--- flags first ---\n%s\n--- flags last ---\n%s", outB, outA)
+			}
+			if tc.outContains != "" && !strings.Contains(outB, tc.outContains) {
+				t.Errorf("out missing %q in:\n%s", tc.outContains, outB)
+			}
+		})
+	}
+
+	// verify alone takes no positionals; a stray one is a flag error,
+	// not a silently ignored operand.
+	code, _, errOut := runWith(t, "verify", "-rep", "list", "bogus")
+	if code == 0 || !strings.Contains(errOut, "no positional arguments") {
+		t.Errorf("stray verify positional: exit = %d, stderr = %q", code, errOut)
+	}
+}
+
+// TestSeedDeterminismAcrossWorkers pins the determinism contract the
+// parallel drivers promise: with a fixed seed, `adt test` output is
+// byte-identical whatever the worker count. The differential report is
+// pinned separately because it names its engine matrix after the worker
+// count (disctree/w4 and so on) — there the invariant is that every
+// engine agrees (": OK") at every width, not that the labels match.
+func TestSeedDeterminismAcrossWorkers(t *testing.T) {
+	base := []string{"test", "-spec", "Queue", "-seed", "12345", "-n", "16", "-diff=false", "-mutate"}
+	var first string
+	for _, w := range []string{"1", "4", "8"} {
+		code, out, errOut := runWith(t, append(base, "-workers", w)...)
+		if code != 0 {
+			t.Fatalf("-workers %s: exit = %d, stderr = %q", w, code, errOut)
+		}
+		if first == "" {
+			first = out
+			continue
+		}
+		if out != first {
+			t.Errorf("-workers %s output differs:\n--- workers 1 ---\n%s\n--- workers %s ---\n%s", w, first, w, out)
+		}
+	}
+	for _, w := range []string{"1", "8"} {
+		code, out, errOut := runWith(t, "test", "-spec", "Queue", "-seed", "12345", "-n", "16", "-workers", w)
+		if code != 0 {
+			t.Fatalf("diff -workers %s: exit = %d, stderr = %q", w, code, errOut)
+		}
+		if !strings.Contains(out, "differential engines of Queue") || !strings.Contains(out, "seed 12345: OK") {
+			t.Errorf("diff -workers %s: engines disagree or report missing:\n%s", w, out)
+		}
+	}
+}
+
 // TestFmtIdempotent proves fmt is a fixpoint on every shipped spec file:
 // formatting a formatted file changes nothing, and `fmt -w` on an
 // already-canonical tree reports no files.

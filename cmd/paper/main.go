@@ -58,6 +58,7 @@ func run(args []string, out io.Writer) int {
 	depth := fs.Int("depth", 4, "ground-term depth for the bounded checks")
 	verbose := fs.Bool("v", false, "print details for passing rows too")
 	benchOut := fs.String("bench-out", "", "run the rewrite-engine benchmarks and write JSON rows to FILE, then exit")
+	serveBenchOut := fs.String("serve-bench-out", "", "run the adt-serve cold/warm benchmarks and write JSON rows to FILE, then exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -69,6 +70,13 @@ func run(args []string, out io.Writer) int {
 	if *benchOut != "" {
 		if err := benchExport(out, *benchOut, env); err != nil {
 			fmt.Fprintf(out, "bench export: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *serveBenchOut != "" {
+		if err := serveBenchExport(out, *serveBenchOut); err != nil {
+			fmt.Fprintf(out, "serve bench export: %v\n", err)
 			return 1
 		}
 		return 0

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"algspec/internal/serve"
+)
+
+// serveBenchExport measures the HTTP normalization path of `adt serve`
+// cold (cache disabled: parse, canon, pool round trip, full rewrite)
+// and warm (same request answered from the shared caches) and writes
+// the two rows as JSON. The warm/cold ratio is the server's headline
+// claim — a cache hit must be at least serveWarmFactor times faster —
+// so the export fails, and CI with it, when the ratio decays.
+const serveWarmFactor = 5
+
+func serveBenchExport(out io.Writer, path string) error {
+	cold := measure("serve_normalize_cold", benchServeNormalize(-1, false))
+	warm := measure("serve_normalize_warm", benchServeNormalize(serve.DefaultCacheSize, true))
+	rows := []benchRow{cold, warm}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	ratio := cold.NsPerOp / warm.NsPerOp
+	fmt.Fprintf(out, "wrote %d benchmark rows to %s (cold %.0f ns/op, warm %.0f ns/op, %.1fx)\n",
+		len(rows), path, cold.NsPerOp, warm.NsPerOp, ratio)
+	if ratio < serveWarmFactor {
+		return fmt.Errorf("warm cache is only %.1fx faster than cold, want >= %dx", ratio, serveWarmFactor)
+	}
+	return nil
+}
+
+// e1QueueServeTerm is the E1 benchmark workload (64 interleaved Queue
+// operations, observed through front) spelled as request text — the
+// term the serve acceptance criterion measures.
+func e1QueueServeTerm() string {
+	items := []string{"a", "b", "c", "d"}
+	state := "new"
+	size := 0
+	for i := 0; i < 64; i++ {
+		if size > 0 && i%3 == 0 {
+			state = "remove(" + state + ")"
+			size--
+		} else {
+			state = fmt.Sprintf("add(%s, '%s)", state, items[i%len(items)])
+			size++
+		}
+	}
+	return "front(" + state + ")"
+}
+
+func benchServeNormalize(cacheSize int, prime bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		srv, err := serve.New(serve.Config{Workers: 2, CacheSize: cacheSize})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		h := srv.Handler()
+		termJSON, err := json.Marshal(e1QueueServeTerm())
+		if err != nil {
+			b.Fatal(err)
+		}
+		body := `{"spec":"Queue","term":` + string(termJSON) + `}`
+		request := func() {
+			req := httptest.NewRequest("POST", "/v1/normalize", strings.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+		if prime {
+			request()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			request()
+		}
+	}
+}

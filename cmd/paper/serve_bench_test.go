@@ -1,0 +1,43 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestServeBenchExport runs the -serve-bench-out path end to end: two
+// rows land in the file and the warm row beats cold by the exported
+// factor (the export itself fails below serveWarmFactor).
+func TestServeBenchExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark export is slow; skipped with -short")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_serve.json")
+	var out strings.Builder
+	if code := run([]string{"-serve-bench-out", path}, &out); code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []benchRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if len(rows) != 2 || rows[0].Name != "serve_normalize_cold" || rows[1].Name != "serve_normalize_warm" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Iterations <= 0 || r.NsPerOp <= 0 {
+			t.Errorf("row %q has empty measurements: %+v", r.Name, r)
+		}
+	}
+	if ratio := rows[0].NsPerOp / rows[1].NsPerOp; ratio < serveWarmFactor {
+		t.Errorf("warm only %.1fx faster than cold, want >= %dx", ratio, serveWarmFactor)
+	}
+}

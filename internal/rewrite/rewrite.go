@@ -24,6 +24,7 @@
 package rewrite
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"strings"
@@ -99,6 +100,19 @@ func clip(t *term.Term) string {
 	}
 	return s[:cut] + "..."
 }
+
+// ErrCanceled is returned (wrapped) when a normalization is abandoned
+// because the stop flag installed with WithStop was raised — in the
+// server, because the request's deadline expired. Distinguish it from
+// ErrFuel: fuel exhaustion is a property of the term and axioms (422),
+// cancellation a property of the caller's patience (504).
+var ErrCanceled = errors.New("rewrite: normalization canceled")
+
+// stopCheckMask bounds how stale a cancellation can be: the stop flag is
+// polled every time the step counter crosses a multiple of mask+1, so a
+// raised flag is noticed within 1024 reductions (well under a
+// millisecond) without putting an atomic load on every step.
+const stopCheckMask = 1<<10 - 1
 
 // TraceStep records one rule application for the CLI's trace subcommand.
 type TraceStep struct {
@@ -199,6 +213,15 @@ func WithMemoLimit(n int) Option {
 	}
 }
 
+// WithStop installs a cancellation flag: when flag becomes true, the
+// next stop-poll (every 1024 steps) abandons the normalization with an
+// error wrapping ErrCanceled. The flag may be raised from any goroutine;
+// the serve subsystem raises it when a request's context deadline
+// expires so the worker is freed instead of burning its full fuel.
+func WithStop(flag *atomic.Bool) Option {
+	return func(sys *System) { sys.stop = flag }
+}
+
 // WithInterner makes the system hash-cons into the given interner instead
 // of a private one, so canonical terms (and memo identity) are shared
 // with other systems or a generator.
@@ -240,6 +263,11 @@ type System struct {
 	intern    *term.Interner
 	memo      map[*term.Term]*term.Term
 	memoLimit int
+	// stop, when non-nil, is polled every stopCheckMask+1 steps; a true
+	// value abandons the normalization with ErrCanceled. Set per request
+	// via WithStop; Fork deliberately does not inherit it (a fork serves
+	// a different caller with a different deadline).
+	stop *atomic.Bool
 
 	// disp folds the native table and the discrimination-tree index into
 	// one map so the hot path pays a single string hash per redex. Built
@@ -482,6 +510,9 @@ func (s *System) MustNormalize(t *term.Term) *term.Term {
 
 func (s *System) spend(last *term.Term) error {
 	s.stats.Steps++
+	if s.stop != nil && s.stats.Steps&stopCheckMask == 0 && s.stop.Load() {
+		return fmt.Errorf("%w near %s", ErrCanceled, clip(last))
+	}
 	if s.stats.Steps > s.budget {
 		// Report the steps actually spent by this outermost call (the
 		// budget was set to the step counter at entry plus maxSteps).

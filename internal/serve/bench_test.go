@@ -1,0 +1,74 @@
+package serve_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"algspec/internal/serve"
+)
+
+// e1QueueOps64Term spells the E1 benchmark workload (bench_test.go's
+// queueWorkload) as one ground term: 64 interleaved add/remove
+// operations over the Queue spec, observed through front. This is the
+// term the acceptance criterion measures cold vs warm.
+func e1QueueOps64Term() string {
+	items := []string{"a", "b", "c", "d"}
+	state := "new"
+	size := 0
+	for i := 0; i < 64; i++ {
+		if size > 0 && i%3 == 0 {
+			state = "remove(" + state + ")"
+			size--
+		} else {
+			state = fmt.Sprintf("add(%s, '%s)", state, items[i%len(items)])
+			size++
+		}
+	}
+	return "front(" + state + ")"
+}
+
+func benchNormalize(b *testing.B, cacheSize int, prime bool) {
+	srv, err := serve.New(serve.Config{Workers: 2, CacheSize: cacheSize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+	body := `{"spec":"Queue","term":` + jsonString(e1QueueOps64Term()) + `}`
+	request := func() string {
+		req := httptest.NewRequest("POST", "/v1/normalize", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+		return rec.Body.String()
+	}
+	if prime {
+		if resp := request(); !strings.Contains(resp, `"cached": false`) {
+			b.Fatalf("priming request was already cached: %s", resp)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		request()
+	}
+}
+
+// BenchmarkServeNormalizeCold measures the full request path with the
+// normal-form cache disabled: JSON decode, parse, canon, pool round
+// trip, full normalization, JSON encode.
+func BenchmarkServeNormalizeCold(b *testing.B) {
+	benchNormalize(b, -1, false)
+}
+
+// BenchmarkServeNormalizeWarm measures the same request answered from
+// the shared cache (one priming request, then all hits).
+func BenchmarkServeNormalizeWarm(b *testing.B) {
+	benchNormalize(b, serve.DefaultCacheSize, true)
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"algspec/internal/term"
+)
+
+// This file holds the server's two shared caches, both bounded sharded
+// LRUs:
+//
+//   - the normal-form cache, keyed on interned-term pointers: every
+//     request's input term is canonicalized into its spec's shared
+//     interner before the lookup, so structurally equal terms — however
+//     they were spelled — land on the same pointer, and pointers from
+//     different specs can never collide (each spec's interner hands out
+//     distinct allocations);
+//   - the parse cache, keyed on (spec, term text), short-circuiting the
+//     lexer/parser/sort-checker for hot request strings straight to the
+//     canonical pointer.
+//
+// Entries are immutable values, which is what makes one cache safely
+// shared by every pool worker: readers and writers only ever exchange
+// values under the shard lock. Sharding exists because both caches are
+// on the warm path of every request: a single mutex would serialize
+// exactly the traffic the caches are meant to accelerate.
+const cacheShards = 16
+
+// lruCache is a sharded LRU from comparable keys to immutable values.
+// A nil *lruCache is a valid always-miss cache whose methods are
+// no-ops, which is how `-cache 0` and the cold benchmark run.
+type lruCache[K comparable, V any] struct {
+	shards [cacheShards]lruShard[K, V]
+	hash   func(K) uintptr
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type lruShard[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	items map[K]*list.Element
+	order *list.List // front = most recently used
+}
+
+type lruNode[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// newLRU builds a cache holding about capacity entries in total
+// (rounded up to a multiple of the shard count); capacity <= 0 returns
+// the nil always-miss cache.
+func newLRU[K comparable, V any](capacity int, hash func(K) uintptr) *lruCache[K, V] {
+	if capacity <= 0 {
+		return nil
+	}
+	per := (capacity + cacheShards - 1) / cacheShards
+	c := &lruCache[K, V]{hash: hash}
+	for i := range c.shards {
+		c.shards[i] = lruShard[K, V]{
+			cap:   per,
+			items: make(map[K]*list.Element, per),
+			order: list.New(),
+		}
+	}
+	return c
+}
+
+func (c *lruCache[K, V]) shard(key K) *lruShard[K, V] {
+	x := c.hash(key)
+	x ^= x >> 12 // fold high bits in before indexing
+	return &c.shards[(x>>4)%cacheShards]
+}
+
+// Get looks the key up, promoting it to most-recently-used on a hit.
+// Every Get counts exactly one hit or miss; /metrics reconciles these
+// against request counts, so the accounting must never drop an update.
+func (c *lruCache[K, V]) Get(key K) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return zero, false
+	}
+	sh.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*lruNode[K, V]).val, true
+}
+
+// Put inserts (or refreshes) an entry, evicting the least-recently-used
+// entry of the key's shard when the shard is full. Concurrent Puts of
+// the same key are idempotent: both writers derived the same value from
+// a deterministic computation.
+func (c *lruCache[K, V]) Put(key K, val V) {
+	if c == nil {
+		return
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[key]; ok {
+		el.Value.(*lruNode[K, V]).val = val
+		sh.order.MoveToFront(el)
+		return
+	}
+	if sh.order.Len() >= sh.cap {
+		oldest := sh.order.Back()
+		if oldest != nil {
+			sh.order.Remove(oldest)
+			delete(sh.items, oldest.Value.(*lruNode[K, V]).key)
+		}
+	}
+	sh.items[key] = sh.order.PushFront(&lruNode[K, V]{key: key, val: val})
+}
+
+// Len reports the number of live entries across all shards.
+func (c *lruCache[K, V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.order.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Counters returns the cumulative hit and miss counts.
+func (c *lruCache[K, V]) Counters() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// cacheEntry is one memoized normalization. Steps records the cold
+// run's reduction count and is echoed on warm hits, so a client can
+// still see what the term costs.
+type cacheEntry struct {
+	nf    *term.Term
+	steps int
+}
+
+// nfCache is the normal-form cache: canonical input term -> result.
+type nfCache = lruCache[*term.Term, cacheEntry]
+
+func newNFCache(capacity int) *nfCache {
+	return newLRU[*term.Term, cacheEntry](capacity, func(k *term.Term) uintptr {
+		// Low pointer bits are alignment zeros; the shard fold discards
+		// them.
+		return uintptr(unsafe.Pointer(k))
+	})
+}
+
+// parseCache maps (spec, term text) — joined with a NUL, which the
+// surface syntax cannot contain — to the canonical parsed term.
+type parseCache = lruCache[string, *term.Term]
+
+var parseSeed = maphash.MakeSeed()
+
+func newParseCache(capacity int) *parseCache {
+	return newLRU[string, *term.Term](capacity, func(k string) uintptr {
+		return uintptr(maphash.String(parseSeed, k))
+	})
+}

@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"algspec/internal/complete"
+	"algspec/internal/consist"
+	"algspec/internal/core"
+	"algspec/internal/lang"
+	"algspec/internal/rewrite"
+	"algspec/internal/speclib"
+)
+
+// NormalizeRequest is the body of POST /v1/normalize.
+type NormalizeRequest struct {
+	// Spec names the specification to evaluate against.
+	Spec string `json:"spec"`
+	// Term is the ground term to normalize, in surface syntax.
+	Term string `json:"term"`
+	// Trace, when true, returns every rewrite step (and bypasses the
+	// normal-form cache, which stores only results).
+	Trace bool `json:"trace,omitempty"`
+	// Fuel overrides the per-request reduction budget; it is capped by
+	// the server's -fuel flag.
+	Fuel int `json:"fuel,omitempty"`
+	// TimeoutMs overrides the per-request deadline; it is capped by the
+	// server's -timeout flag.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// NormalizeResponse is the 200 body of POST /v1/normalize.
+type NormalizeResponse struct {
+	Spec string `json:"spec"`
+	// Input echoes the parsed term in canonical spelling.
+	Input      string `json:"input"`
+	NormalForm string `json:"normal_form"`
+	// Steps is the cold normalization's reduction count (echoed
+	// unchanged on cache hits).
+	Steps  int         `json:"steps"`
+	Cached bool        `json:"cached"`
+	Trace  []TraceStep `json:"trace,omitempty"`
+}
+
+// TraceStep is one rewrite in a traced normalization.
+type TraceStep struct {
+	Rule   string `json:"rule"`
+	Before string `json:"before"`
+	After  string `json:"after"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Line/Col locate a syntax error in the submitted term or source.
+	Line int `json:"line,omitempty"`
+	Col  int `json:"col,omitempty"`
+	// Steps reports how much fuel a 422 burned before giving up.
+	Steps int `json:"steps,omitempty"`
+}
+
+// CheckRequest is the body of POST /v1/check: specification source to
+// run the four checkers on. The source is loaded on top of the server's
+// library, so uploads may use library specs.
+type CheckRequest struct {
+	Source string `json:"source"`
+	// Depth bounds the ground-term enumeration of the dynamic checks
+	// (default 3, capped at 5 — the term count is exponential in it).
+	Depth int `json:"depth,omitempty"`
+	// Dynamic disables the two ground-term checkers when set to false.
+	Dynamic *bool `json:"dynamic,omitempty"`
+}
+
+// CheckResponse reports the four checkers per uploaded spec.
+type CheckResponse struct {
+	OK    bool        `json:"ok"`
+	Specs []SpecCheck `json:"specs"`
+}
+
+// SpecCheck is one spec's verdicts. The dynamic fields are absent when
+// the request disabled the ground-term checks.
+type SpecCheck struct {
+	Name             string   `json:"name"`
+	Complete         bool     `json:"complete"`
+	Consistent       bool     `json:"consistent"`
+	DynamicComplete  *bool    `json:"dynamic_complete,omitempty"`
+	GroundConsistent *bool    `json:"ground_consistent,omitempty"`
+	Problems         []string `json:"problems,omitempty"`
+}
+
+// SpecsResponse is the body of GET /v1/specs.
+type SpecsResponse struct {
+	Specs []speclib.Summary `json:"specs"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		// v is one of our own response structs; this cannot fail.
+		panic(fmt.Sprintf("serve: marshaling %T: %v", v, err))
+	}
+	data = append(data, '\n')
+	w.Write(data)
+}
+
+// writeParseError answers 400, attaching the first syntax-error
+// position when the error carries one.
+func writeParseError(w http.ResponseWriter, err error) {
+	resp := ErrorResponse{Error: err.Error()}
+	var el lang.ErrorList
+	var one *lang.Error
+	switch {
+	case errors.As(err, &el) && len(el) > 0:
+		resp.Line, resp.Col = el[0].Line, el[0].Col
+	case errors.As(err, &one):
+		resp.Line, resp.Col = one.Line, one.Col
+	}
+	writeJSON(w, http.StatusBadRequest, resp)
+}
+
+func (s *Server) handleNormalize(w http.ResponseWriter, r *http.Request) {
+	var req NormalizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	sp, ok := s.env.Get(req.Spec)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown specification %q", req.Spec)})
+		return
+	}
+	base, err := s.env.System(sp.Name)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	// The parse cache short-circuits lexing/parsing/sort-checking for
+	// hot request strings; on a miss the term is canonicalized into the
+	// spec's shared interner, whose canonical pointer is the normal-form
+	// cache key (forks resolve it in O(1)).
+	parseKey := sp.Name + "\x00" + req.Term
+	canon, ok := s.parsed.Get(parseKey)
+	if !ok {
+		t, err := s.env.ParseTerm(sp.Name, req.Term)
+		if err != nil {
+			writeParseError(w, err)
+			return
+		}
+		canon = base.Interner().Canon(t)
+		s.parsed.Put(parseKey, canon)
+	}
+
+	useCache := !req.Trace
+	if useCache {
+		if hit, ok := s.cache.Get(canon); ok {
+			writeJSON(w, http.StatusOK, NormalizeResponse{
+				Spec:       sp.Name,
+				Input:      canon.String(),
+				NormalForm: hit.nf.String(),
+				Steps:      hit.steps,
+				Cached:     true,
+			})
+			return
+		}
+	}
+
+	fuel := s.cfg.Fuel
+	if req.Fuel > 0 && req.Fuel < fuel {
+		fuel = req.Fuel
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	// The stop flag is the bridge from context-land to the engine: a
+	// watcher raises it when the deadline passes (or the client hangs
+	// up), and the fork notices within ~1024 reductions.
+	var stop atomic.Bool
+	go func() {
+		<-ctx.Done()
+		stop.Store(true)
+	}()
+
+	var trace []TraceStep
+	opts := []rewrite.Option{rewrite.WithMaxSteps(fuel), rewrite.WithStop(&stop)}
+	if req.Trace {
+		opts = append(opts, rewrite.WithTrace(func(ts rewrite.TraceStep) {
+			trace = append(trace, TraceStep{Rule: ts.Rule.Label, Before: ts.Before.String(), After: ts.After.String()})
+		}))
+	}
+	job := &normJob{
+		ctx:   ctx,
+		sys:   base.Fork(opts...),
+		t:     canon,
+		stop:  &stop,
+		reply: make(chan normResult, 1),
+	}
+	if err := s.pool.submit(job); err != nil {
+		// The miss this request charged in Get stands: it asked the
+		// cache and the cache had no answer.
+		if errors.Is(err, errShuttingDown) {
+			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server is shutting down"})
+		} else {
+			// The deadline passed while waiting for a queue slot.
+			writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "request timed out before a worker was free"})
+		}
+		return
+	}
+	res := <-job.reply // workers always reply: cancellation is bounded by the stop poll
+
+	if useCache && res.err == nil {
+		s.cache.Put(canon, cacheEntry{nf: res.nf, steps: res.stats.Steps})
+	}
+	switch {
+	case res.err == nil:
+		writeJSON(w, http.StatusOK, NormalizeResponse{
+			Spec:       sp.Name,
+			Input:      canon.String(),
+			NormalForm: res.nf.String(),
+			Steps:      res.stats.Steps,
+			Cached:     false,
+			Trace:      trace,
+		})
+	case errors.Is(res.err, rewrite.ErrCanceled):
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "normalization exceeded the request deadline"})
+	default:
+		var fuelErr *rewrite.ErrFuel
+		if errors.As(res.err, &fuelErr) {
+			writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{
+				Error: res.err.Error(),
+				Steps: fuelErr.Steps,
+			})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: res.err.Error()})
+	}
+}
+
+// requestContext derives the request's context with the effective
+// deadline: the server's -timeout, tightened by the request's
+// timeout_ms when that is shorter.
+func (s *Server) requestContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	d := s.cfg.Timeout
+	if t := time.Duration(timeoutMs) * time.Millisecond; timeoutMs > 0 && (d == 0 || t < d) {
+		d = t
+	}
+	if d <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req CheckRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "empty source: POST {\"source\": \"spec ... end\"}"})
+		return
+	}
+	depth := req.Depth
+	switch {
+	case depth <= 0:
+		depth = 3
+	case depth > 5:
+		depth = 5 // ground-term count is exponential in depth
+	}
+	dynamic := req.Dynamic == nil || *req.Dynamic
+
+	// Uploaded specs are checked in a fresh environment rebuilt from the
+	// server's sources: the shared env must never grow request state,
+	// and two concurrent uploads must not see each other.
+	env := core.NewEnv()
+	for _, src := range s.sources {
+		if _, err := env.Load(src); err != nil {
+			writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+			return
+		}
+	}
+	added, err := env.Load(req.Source)
+	if err != nil {
+		writeParseError(w, err)
+		return
+	}
+
+	resp := CheckResponse{OK: true}
+	for _, sp := range added {
+		sc := SpecCheck{Name: sp.Name}
+		cr := complete.Check(sp)
+		sc.Complete = cr.OK()
+		if !cr.OK() {
+			sc.Problems = append(sc.Problems, strings.TrimSpace(cr.String()))
+		}
+		kr := consist.Check(sp)
+		sc.Consistent = kr.OK()
+		if !kr.OK() {
+			sc.Problems = append(sc.Problems, strings.TrimSpace(kr.String()))
+		}
+		if dynamic {
+			sys, err := env.System(sp.Name)
+			if err != nil {
+				writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+				return
+			}
+			dr := complete.CheckDynamic(sp, complete.DynamicConfig{Depth: depth, System: sys, Workers: s.cfg.Workers})
+			ok := dr.OK()
+			sc.DynamicComplete = &ok
+			if !ok {
+				sc.Problems = append(sc.Problems, strings.TrimSpace(dr.String()))
+			}
+			gr := consist.CheckGround(sp, consist.GroundConfig{Depth: depth, System: sys, Workers: s.cfg.Workers})
+			gok := gr.OK()
+			sc.GroundConsistent = &gok
+			if !gok {
+				sc.Problems = append(sc.Problems, strings.TrimSpace(gr.String()))
+			}
+		}
+		if len(sc.Problems) > 0 {
+			resp.OK = false
+		}
+		resp.Specs = append(resp.Specs, sc)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SpecsResponse{Specs: speclib.Summarize(s.env)})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.Counters()
+	pHits, pMisses := s.parsed.Counters()
+	st := s.rec.Snapshot()
+	var interned int64
+	for _, name := range s.env.Names() {
+		if sys, err := s.env.System(name); err == nil {
+			interned += int64(sys.Interner().Size())
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.exposition(w, hits, misses, pHits, pMisses,
+		[4]int64{int64(st.Steps), int64(st.RuleFires), int64(st.MemoHits), int64(st.NativeCalls)}, interned)
+}

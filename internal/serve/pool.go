@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"algspec/internal/rewrite"
+	"algspec/internal/term"
+)
+
+// errShuttingDown is returned by submit once Close has begun; the
+// handler maps it to 503.
+var errShuttingDown = errors.New("serve: shutting down")
+
+// normJob is one normalization handed to the pool. The System is a
+// per-request Fork carrying the request's fuel, stop flag and optional
+// trace collector, so workers share no mutable engine state — the fork
+// discipline from the parallel checkers, applied to HTTP. reply is
+// buffered: a worker can always deliver and move on even if the handler
+// has already timed out and gone away.
+type normJob struct {
+	ctx   context.Context
+	sys   *rewrite.System
+	t     *term.Term
+	stop  *atomic.Bool
+	reply chan normResult
+}
+
+type normResult struct {
+	nf    *term.Term
+	stats rewrite.Stats
+	err   error
+}
+
+// pool is a bounded set of worker goroutines draining a job queue. The
+// bound is the server's concurrency limit on engine work: HTTP handlers
+// beyond it queue (and give up if their deadline passes first) instead
+// of spawning unbounded normalizations.
+type pool struct {
+	jobs chan *normJob
+	rec  *rewrite.StatsRecorder
+
+	mu        sync.Mutex
+	closed    bool
+	submits   sync.WaitGroup // in-flight submit calls, for a safe close
+	workersWG sync.WaitGroup
+}
+
+func newPool(workers int, rec *rewrite.StatsRecorder) *pool {
+	p := &pool{
+		// A modest queue absorbs bursts without unbounding latency; a
+		// handler whose deadline passes while queued is skipped by the
+		// worker via its stop flag.
+		jobs: make(chan *normJob, workers*4),
+		rec:  rec,
+	}
+	p.workersWG.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.workersWG.Done()
+	for j := range p.jobs {
+		if j.stop != nil && j.stop.Load() {
+			// The deadline passed while the job sat in the queue; don't
+			// start work nobody is waiting for.
+			j.reply <- normResult{err: rewrite.ErrCanceled}
+			continue
+		}
+		nf, err := j.sys.Normalize(j.t)
+		st := j.sys.Stats()
+		p.rec.Record(st)
+		j.reply <- normResult{nf: nf, stats: st, err: err}
+	}
+}
+
+// submit enqueues a job, blocking while the queue is full until either
+// a worker frees a slot or the job's context expires. It returns
+// errShuttingDown once Close has begun.
+func (p *pool) submit(j *normJob) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return errShuttingDown
+	}
+	p.submits.Add(1)
+	p.mu.Unlock()
+	defer p.submits.Done()
+	select {
+	case p.jobs <- j:
+		return nil
+	case <-j.ctx.Done():
+		return j.ctx.Err()
+	}
+}
+
+// close drains the pool: no new submits are accepted, queued and
+// running jobs finish (bounded by their own fuel and stop flags), and
+// close returns once every worker has exited. This is the
+// "drain in-flight normalizations" half of graceful shutdown; the HTTP
+// half (http.Server.Shutdown) has already stopped new requests by the
+// time the server calls this.
+func (p *pool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.submits.Wait() // no submit is still holding a send on jobs
+	close(p.jobs)
+	p.workersWG.Wait()
+}

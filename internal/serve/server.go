@@ -1,0 +1,140 @@
+// Package serve exposes the specification toolchain as a long-running
+// HTTP/JSON service — the "specification as oracle" of Gaudel & Le
+// Gall, run as infrastructure. A client POSTs a spec name and a term;
+// the server normalizes the term against Guttag's axioms and answers
+// with the normal form, the reduction count, and (opt-in) the full
+// rewrite trace. The four checkers run on uploaded specs, the spec
+// library is listable, and every engine counter from the rewrite layer
+// is scraped at GET /metrics in the Prometheus text format.
+//
+// Concurrency discipline (DESIGN §10): one immutable compiled
+// rewrite.System per spec is shared by reference; every request
+// normalizes on its own Fork carrying per-request fuel, a cancellation
+// flag wired to the request deadline, and (for trace requests) a
+// private trace collector. Forks never share memo tables or counters —
+// the only shared mutable state is the sharded LRU normal-form cache,
+// which exchanges immutable entries under shard locks, and the atomic
+// stats recorder the forks drain into.
+package serve
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+
+	"algspec/internal/core"
+	"algspec/internal/rewrite"
+	"algspec/internal/speclib"
+)
+
+// Config sizes the server. The zero value of each field selects the
+// documented default.
+type Config struct {
+	// Workers bounds concurrent normalizations (<= 0: GOMAXPROCS).
+	Workers int
+	// Fuel is the per-request reduction budget and the cap on any
+	// request-supplied budget (<= 0: 1<<20, the engine default).
+	Fuel int
+	// CacheSize bounds the shared normal-form cache in entries
+	// (0: DefaultCacheSize; negative: cache disabled).
+	CacheSize int
+	// Timeout is the per-request wall-clock deadline (0: none). A
+	// request may ask for a shorter deadline, never a longer one.
+	Timeout time.Duration
+}
+
+// DefaultCacheSize is the normal-form cache bound when Config leaves
+// CacheSize zero.
+const DefaultCacheSize = 1 << 16
+
+// Server is the spec-evaluation service. Create with New, mount
+// Handler on an http.Server, and Close on the way out.
+type Server struct {
+	cfg     Config
+	env     *core.Env
+	sources []string // lib + extras, for rebuilding check environments
+	cache   *nfCache
+	parsed  *parseCache
+	met     *metrics
+	rec     rewrite.StatsRecorder
+	pool    *pool
+	mux     *http.ServeMux
+}
+
+// New builds a server over the embedded specification library plus any
+// extra specification sources (each one full source text, as a file's
+// contents). Every spec is compiled eagerly so a bad source fails here,
+// not on the first request that touches it.
+func New(cfg Config, extraSources ...string) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Fuel <= 0 {
+		cfg.Fuel = 1 << 20
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	sources := append(append([]string{}, speclib.Sources...), extraSources...)
+	env := core.NewEnv()
+	for _, src := range sources {
+		if _, err := env.Load(src); err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{
+		cfg:     cfg,
+		env:     env,
+		sources: sources,
+		cache:   newNFCache(cfg.CacheSize),
+		parsed:  newParseCache(cfg.CacheSize),
+		met:     newMetrics(),
+	}
+	for _, name := range env.Names() {
+		if _, err := env.System(name); err != nil {
+			return nil, err
+		}
+	}
+	s.pool = newPool(cfg.Workers, &s.rec)
+	s.mux = http.NewServeMux()
+	s.mux.Handle("POST /v1/normalize", s.instrument("normalize", s.handleNormalize))
+	s.mux.Handle("POST /v1/check", s.instrument("check", s.handleCheck))
+	s.mux.Handle("GET /v1/specs", s.instrument("specs", s.handleSpecs))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree; mount it on an http.Server or
+// an httptest.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the worker pool: queued and running normalizations
+// finish (or hit their fuel/stop bounds) before Close returns. Call it
+// after http.Server.Shutdown has stopped new requests.
+func (s *Server) Close() { s.pool.close() }
+
+// instrument wraps an API handler with the in-flight gauge, the
+// per-(endpoint, code) request counter and the latency histogram.
+// /metrics itself is served unwrapped so the gauge a scrape reports
+// does not count the scrape.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.met.inFlight.Add(1)
+		defer s.met.inFlight.Add(-1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.met.observe(endpoint, sw.code, time.Since(start).Seconds())
+	})
+}
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,44 @@
+package serve_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"algspec/internal/serve"
+)
+
+// TestGracefulShutdownDrains pins the drain contract: requests that
+// entered before Close complete normally, and Close returns only after
+// every worker has exited. The httptest server is shut down first
+// (mirroring http.Server.Shutdown before pool drain in cmdServe).
+func TestGracefulShutdownDrains(t *testing.T) {
+	srv, err := serve.New(serve.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServerFrom(t, srv)
+
+	const n = 16
+	var wg sync.WaitGroup
+	bodies := make([]string, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], bodies[i] = do(t, ts, "POST", "/v1/normalize",
+				`{"spec":"Queue","term":"front(remove(add(add(add(new, 'a), 'b), 'c)))"}`)
+		}(i)
+	}
+	wg.Wait() // all requests answered while the server was up
+	ts.Close()
+	srv.Close() // must not deadlock with an empty queue
+	for i := 0; i < n; i++ {
+		if codes[i] != 200 || !strings.Contains(bodies[i], `"normal_form": "'b"`) {
+			t.Errorf("request %d: %d %s", i, codes[i], bodies[i])
+		}
+	}
+	// Close is idempotent.
+	srv.Close()
+}

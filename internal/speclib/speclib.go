@@ -519,3 +519,39 @@ func BaseEnv() *core.Env {
 	env.MustLoad(Sources...)
 	return env
 }
+
+// Summary is one specification's shape as reported by `adt info` and the
+// server's GET /v1/specs: its name, how many operations and axioms it
+// states itself, which specs it uses, and which of its own operations
+// are constructors.
+type Summary struct {
+	Name         string   `json:"name"`
+	OwnOps       int      `json:"ops"`
+	OwnAxioms    int      `json:"axioms"`
+	Uses         []string `json:"uses,omitempty"`
+	Constructors []string `json:"constructors,omitempty"`
+}
+
+// Summarize describes every specification loaded in env, in load order
+// (the library's dependency order, followed by any user files). It is
+// the data source for GET /v1/specs.
+func Summarize(env *core.Env) []Summary {
+	names := env.Names()
+	out := make([]Summary, 0, len(names))
+	for _, name := range names {
+		sp := env.MustGet(name)
+		s := Summary{
+			Name:      sp.Name,
+			OwnOps:    len(sp.OwnOps),
+			OwnAxioms: len(sp.Own),
+		}
+		s.Uses = append(s.Uses, sp.Uses...)
+		for _, opName := range sp.OwnOps {
+			if sp.IsConstructor(opName) {
+				s.Constructors = append(s.Constructors, opName)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}

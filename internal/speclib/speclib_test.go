@@ -149,3 +149,31 @@ func TestLibraryBehaviours(t *testing.T) {
 		}
 	}
 }
+
+// Summarize reports every loaded spec in load order with the shape the
+// server's GET /v1/specs exposes.
+func TestSummarize(t *testing.T) {
+	env := speclib.BaseEnv()
+	sums := speclib.Summarize(env)
+	if len(sums) != len(speclib.Names) {
+		t.Fatalf("summarized %d specs, want %d", len(sums), len(speclib.Names))
+	}
+	byName := map[string]speclib.Summary{}
+	for i, s := range sums {
+		if s.Name != speclib.Names[i] {
+			t.Errorf("summary %d = %s, want %s (load order)", i, s.Name, speclib.Names[i])
+		}
+		byName[s.Name] = s
+	}
+	q := byName["Queue"]
+	if q.OwnOps != 5 || q.OwnAxioms != 6 {
+		t.Errorf("Queue summary = %+v, want 5 ops / 6 axioms", q)
+	}
+	if len(q.Uses) != 1 || q.Uses[0] != "Bool" {
+		t.Errorf("Queue uses = %v, want [Bool]", q.Uses)
+	}
+	wantCons := map[string]bool{"new": true, "add": true}
+	if len(q.Constructors) != 2 || !wantCons[q.Constructors[0]] || !wantCons[q.Constructors[1]] {
+		t.Errorf("Queue constructors = %v, want new+add", q.Constructors)
+	}
+}
