@@ -1,0 +1,96 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"time"
+
+	"algspec/internal/faultinject"
+	"algspec/internal/loadgen"
+	"algspec/internal/serve"
+)
+
+// cmdLoad boots an in-process adt serve instance and replays a seeded,
+// oracle-checked workload against it, optionally under injected faults
+// (DESIGN §11). Owning the server is what makes exact /metrics
+// reconciliation possible: nobody else can touch the counters.
+func cmdLoad(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("load", flag.ContinueOnError)
+	fs.SetOutput(out)
+	seed := fs.Int64("seed", 1, "workload seed; same seed, same request sequence")
+	duration := fs.Duration("duration", 5*time.Second, "nominal run length; total requests = rps * duration")
+	rps := fs.Int("rps", 50, "request pacing rate (requests per second)")
+	mixSpec := fs.String("mix", "", "workload mix, e.g. normalize=8,check=1,specs=1 (empty = default)")
+	faults := fs.String("faults", "", "fault points to arm: 'all' or name[=every[:delay]],... (empty = none)")
+	sloSpec := fs.String("slo", "", "latency objectives, e.g. p99=50ms,p50=5ms (empty = none)")
+	workers := fs.Int("workers", 4, "client worker goroutines; 1 gives a bit-reproducible run")
+	retries := fs.Int("retries", 3, "retry budget per request for 503/504/transport errors")
+	srvWorkers := fs.Int("server-workers", 0, "server pool size (0 = GOMAXPROCS)")
+	srvTimeout := fs.Duration("server-timeout", 2*time.Second, "server per-request deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("load takes no positional arguments (got %q)", fs.Arg(0))
+	}
+	if *rps <= 0 || *duration <= 0 {
+		return fmt.Errorf("load requires positive -rps and -duration")
+	}
+	total := int(float64(*rps) * duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+
+	mix, err := loadgen.ParseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+	slos, err := loadgen.ParseSLOs(*sloSpec)
+	if err != nil {
+		return err
+	}
+	plan, err := loadgen.FaultPlan(*faults)
+	if err != nil {
+		return err
+	}
+
+	srv, err := serve.New(serve.Config{Workers: *srvWorkers, Timeout: *srvTimeout})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if len(plan) > 0 {
+		if err := faultinject.Arm(plan); err != nil {
+			return err
+		}
+		defer faultinject.Disarm()
+		fmt.Fprintf(out, "adt load: %d fault point(s) armed\n", len(plan))
+	}
+
+	fmt.Fprintf(out, "adt load: %d request(s) at %d rps against %s\n", total, *rps, ts.URL)
+	rep, err := loadgen.Run(loadgen.Config{
+		BaseURL:     ts.URL,
+		Seed:        *seed,
+		Requests:    total,
+		RPS:         *rps,
+		Mix:         mix,
+		Workers:     *workers,
+		RetryBudget: *retries,
+		FaultsArmed: len(plan) > 0,
+		SLOs:        slos,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep.String())
+	fmt.Fprint(out, rep.LatencySummary())
+	if !rep.OK(len(plan) > 0) {
+		return fmt.Errorf("load run failed (see report above)")
+	}
+	return nil
+}

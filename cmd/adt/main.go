@@ -9,6 +9,7 @@
 //	adt trace -spec NAME [-lib] [file.spec ...] TERM ...
 //	adt verify -rep stack|list [-depth N]
 //	adt serve [-addr HOST:PORT] [-workers N] [-fuel N] [-cache N] [-timeout D] [file.spec ...]
+//	adt load [-seed N] [-duration D] [-rps N] [-mix M] [-faults F] [-slo S]
 //
 // The -lib flag preloads the embedded specification library (the paper's
 // Queue, Symboltable, Stack, Array, Knowlist and friends); files are
@@ -72,6 +73,8 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) int {
 		err = cmdRepl(args[1:], stdin, out)
 	case "serve":
 		err = cmdServe(args[1:], out)
+	case "load":
+		err = cmdLoad(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return 0
@@ -120,6 +123,11 @@ subcommands:
           [-timeout D] [file ...]    HTTP/JSON evaluation service over the
                                      library plus the given spec files
                                      (see README "Serving specs")
+  load    [-seed N] [-duration D] [-rps N] [-mix M] [-faults F]
+          [-slo S] [-workers N]      seeded, oracle-checked load run against
+                                     an in-process serve instance, with
+                                     optional fault injection (see README
+                                     "Load testing and fault injection")
 `)
 }
 

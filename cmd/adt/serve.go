@@ -37,6 +37,15 @@ func cmdServe(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Negative values would silently fall back to the <= 0 defaults in
+	// serve.New; a flag that *looks* like a constraint must not be one
+	// the server ignores.
+	if *workers < 0 {
+		return fmt.Errorf("serve: -workers must be >= 0 (got %d)", *workers)
+	}
+	if *fuel < 0 {
+		return fmt.Errorf("serve: -fuel must be >= 0 (got %d)", *fuel)
+	}
 	extras := make([]string, len(files))
 	for i, f := range files {
 		src, err := os.ReadFile(f)

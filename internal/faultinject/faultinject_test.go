@@ -1,0 +1,136 @@
+package faultinject_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"algspec/internal/faultinject"
+)
+
+// The test points are registered once per binary, like production seams.
+var (
+	tpEveryThird = faultinject.Register("test.every3")
+	tpDelay      = faultinject.Register("test.delay")
+	tpDormant    = faultinject.Register("test.dormant")
+)
+
+func TestDisarmedNeverFires(t *testing.T) {
+	faultinject.Disarm()
+	for i := 0; i < 100; i++ {
+		if _, ok := tpEveryThird.Fire(); ok {
+			t.Fatal("disarmed point fired")
+		}
+	}
+	if c := faultinject.Snapshot()["test.every3"]; c.Hits != 0 {
+		t.Errorf("disarmed hits counted: %+v", c)
+	}
+}
+
+func TestEveryNthHitFires(t *testing.T) {
+	if err := faultinject.Arm(faultinject.Plan{
+		"test.every3": {Every: 3},
+		"test.delay":  {Every: 1, Delay: 5 * time.Millisecond},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disarm()
+
+	var fires []int
+	for i := 1; i <= 10; i++ {
+		if _, ok := tpEveryThird.Fire(); ok {
+			fires = append(fires, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(fires) != len(want) {
+		t.Fatalf("fires at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires at %v, want %v", fires, want)
+		}
+	}
+
+	if r, ok := tpDelay.Fire(); !ok || r.Delay != 5*time.Millisecond {
+		t.Errorf("delay point: rule %+v ok=%v, want Delay=5ms fired", r, ok)
+	}
+	// A point the plan omits stays dormant even while armed.
+	if _, ok := tpDormant.Fire(); ok {
+		t.Error("point absent from the plan fired")
+	}
+
+	snap := faultinject.Snapshot()
+	if c := snap["test.every3"]; c.Hits != 10 || c.Fires != 3 {
+		t.Errorf("every3 counts = %+v, want 10 hits / 3 fires", c)
+	}
+	if c := snap["test.dormant"]; c.Hits != 0 || c.Fires != 0 {
+		t.Errorf("dormant counts = %+v, want zero", c)
+	}
+}
+
+// Re-arming resets counters, so a seeded run's fault schedule starts
+// from hit zero every time — the replay contract.
+func TestArmResetsSchedule(t *testing.T) {
+	for run := 0; run < 2; run++ {
+		if err := faultinject.Arm(faultinject.Plan{"test.every3": {Every: 2}}); err != nil {
+			t.Fatal(err)
+		}
+		var fires []int
+		for i := 1; i <= 5; i++ {
+			if _, ok := tpEveryThird.Fire(); ok {
+				fires = append(fires, i)
+			}
+		}
+		if len(fires) != 2 || fires[0] != 2 || fires[1] != 4 {
+			t.Fatalf("run %d: fires at %v, want [2 4]", run, fires)
+		}
+	}
+	faultinject.Disarm()
+}
+
+func TestArmUnknownPointErrors(t *testing.T) {
+	if err := faultinject.Arm(faultinject.Plan{"no.such.point": {Every: 1}}); err == nil {
+		faultinject.Disarm()
+		t.Fatal("arming an unknown point succeeded")
+	}
+	if faultinject.Armed() {
+		t.Error("failed Arm left the registry armed")
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	faultinject.Register("test.every3")
+}
+
+// Concurrent Fire calls must be safe (run under -race) and lose no hits.
+func TestConcurrentFire(t *testing.T) {
+	if err := faultinject.Arm(faultinject.Plan{"test.every3": {Every: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disarm()
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tpEveryThird.Fire()
+			}
+		}()
+	}
+	wg.Wait()
+	c := faultinject.Snapshot()["test.every3"]
+	if c.Hits != goroutines*per {
+		t.Errorf("hits = %d, want %d", c.Hits, goroutines*per)
+	}
+	if c.Fires != goroutines*per/10 {
+		t.Errorf("fires = %d, want %d", c.Fires, goroutines*per/10)
+	}
+}

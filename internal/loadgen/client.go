@@ -1,0 +1,356 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"algspec/internal/faultinject"
+	"algspec/internal/serve"
+)
+
+// Config drives one load run.
+type Config struct {
+	// BaseURL is the server under test, e.g. "http://127.0.0.1:8044".
+	BaseURL string
+	// Seed names the request sequence (and, with Workers == 1, the
+	// whole run).
+	Seed int64
+	// Requests is the number of logical requests to issue.
+	Requests int
+	// RPS paces the open-loop scheduler; <= 0 issues as fast as the
+	// workers drain.
+	RPS int
+	// Mix is the workload composition.
+	Mix Mix
+	// Workers is the client concurrency; 1 gives bit-reproducible runs.
+	Workers int
+	// RetryBudget is the number of re-attempts a request may spend on
+	// retryable outcomes (503, 504, transport errors) before it is
+	// accounted retry-exhausted. Default 3.
+	RetryBudget int
+	// Timeout bounds one HTTP attempt. It is a transport-level guard
+	// against a hung server, set well above the server's own request
+	// deadline — if it ever fires, exact reconciliation is impossible
+	// (the server may still count the aborted request) and the report
+	// says so. Default 30s.
+	Timeout time.Duration
+	// FaultsArmed tells the classifier that fault-shaped responses
+	// (422 mid-normalization, 5xx) are expected chaos, not regressions.
+	FaultsArmed bool
+	// SLOs are the latency objectives to assert, if any.
+	SLOs []SLO
+}
+
+// Run executes the workload and returns the reconciled report. The
+// error return covers harness failures (cannot build the generator,
+// cannot reach /metrics); a misbehaving server is reported in the
+// Report, not as an error.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 3
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = DefaultMix
+	}
+	gen, err := NewGenerator(cfg.Seed, cfg.Mix)
+	if err != nil {
+		return nil, err
+	}
+	reqs := gen.Sequence(cfg.Requests)
+
+	r := &runner{
+		cfg:      cfg,
+		client:   &http.Client{Timeout: cfg.Timeout},
+		attempts: make(map[string]int64),
+	}
+
+	// Open-loop pacing: request i is released at start + i/RPS. Workers
+	// that fall behind degrade to closed-loop (the channel is unbuffered,
+	// so the pacer waits for a free worker) rather than piling up
+	// goroutines — bounded client pressure, like the server's own pool.
+	ch := make(chan Request)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for req := range ch {
+				r.execute(req)
+			}
+		}()
+	}
+	var interval time.Duration
+	if cfg.RPS > 0 {
+		interval = time.Second / time.Duration(cfg.RPS)
+	}
+	start := time.Now()
+	for i := range reqs {
+		if interval > 0 {
+			if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		ch <- reqs[i]
+	}
+	close(ch)
+	wg.Wait()
+
+	rep := &Report{
+		Seed:           cfg.Seed,
+		Requests:       cfg.Requests,
+		Mix:            cfg.Mix.String(),
+		Workers:        cfg.Workers,
+		Success:        r.success,
+		ExpectedFault:  r.expectedFault,
+		RetryExhausted: r.retryExhausted,
+		Failed:         r.failed,
+		Retries:        r.retries,
+		Attempts:       r.attempts,
+		FailureSamples: r.failures,
+		Latencies:      r.latencies,
+	}
+	if cfg.FaultsArmed {
+		rep.Faults = faultinject.Snapshot()
+	}
+	rep.SLOResults = EvalSLOs(cfg.SLOs, rep.Latencies)
+	if err := r.reconcile(rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// runner carries the mutable run state. Counters are written under one
+// mutex: the bottleneck is the HTTP round trip, not the bookkeeping,
+// and a single lock keeps every update atomic with respect to the final
+// read (no lost updates to reconcile away).
+type runner struct {
+	cfg    Config
+	client *http.Client
+
+	mu             sync.Mutex
+	attempts       map[string]int64
+	latencies      []time.Duration
+	failures       []string
+	success        int64
+	expectedFault  int64
+	retryExhausted int64
+	failed         int64
+	retries        int64
+}
+
+// execute drives one logical request through its attempt/retry loop and
+// classifies the outcome: success, expected-fault, retry-exhausted or
+// failed. Every logical request lands in exactly one bucket.
+func (r *runner) execute(req Request) {
+	// Backoff jitter is seeded per request from the run seed, so a
+	// replay redraws the same jitter sequence.
+	jitter := rand.New(rand.NewSource(r.cfg.Seed ^ (int64(req.ID)+1)*0x5DEECE66D))
+	const backoffBase = 2 * time.Millisecond
+	const backoffCap = 100 * time.Millisecond
+
+	for attempt := 0; ; attempt++ {
+		status, body, err := r.attempt(req)
+		retryable := false
+		switch {
+		case err != nil:
+			// The attempt produced no HTTP response (refused, reset, or
+			// the transport guard fired): retry, and let reconciliation
+			// flag it if the server half-saw the request.
+			retryable = true
+		case status == http.StatusOK:
+			if vErr := r.verify(req, body); vErr != nil {
+				r.fail(fmt.Sprintf("%s #%d: %v", req.Kind, req.ID, vErr))
+			} else {
+				r.bump(&r.success)
+			}
+			return
+		case status == http.StatusUnprocessableEntity && r.cfg.FaultsArmed:
+			// Injected ErrFuel surfaced as 422. Deterministic per
+			// attempt-schedule, so it is a terminal expected outcome, not
+			// a retry.
+			r.bump(&r.expectedFault)
+			return
+		case status == http.StatusServiceUnavailable || status == http.StatusGatewayTimeout:
+			// Saturation or a (possibly injected) deadline: transient by
+			// construction, worth the retry budget.
+			retryable = true
+		default:
+			r.fail(fmt.Sprintf("%s #%d: unexpected status %d: %s", req.Kind, req.ID, status, clipBody(body)))
+			return
+		}
+		if !retryable {
+			return
+		}
+		if attempt >= r.cfg.RetryBudget {
+			r.bump(&r.retryExhausted)
+			return
+		}
+		r.bump(&r.retries)
+		// Jittered exponential backoff: base*2^attempt scaled into
+		// [0.5, 1.0), capped.
+		d := backoffBase << attempt
+		if d > backoffCap {
+			d = backoffCap
+		}
+		time.Sleep(time.Duration(float64(d) * (0.5 + jitter.Float64()/2)))
+	}
+}
+
+// attempt performs one HTTP exchange and books it under
+// "endpoint:status" (or "endpoint:transport-error").
+func (r *runner) attempt(req Request) (status int, body []byte, err error) {
+	var httpReq *http.Request
+	switch req.Kind {
+	case KindNormalize:
+		payload, _ := json.Marshal(serve.NormalizeRequest{Spec: req.Spec, Term: req.Term})
+		httpReq, err = http.NewRequest("POST", r.cfg.BaseURL+"/v1/normalize", bytes.NewReader(payload))
+	case KindCheck:
+		payload, _ := json.Marshal(serve.CheckRequest{Source: checkSource, Depth: 2})
+		httpReq, err = http.NewRequest("POST", r.cfg.BaseURL+"/v1/check", bytes.NewReader(payload))
+	default:
+		httpReq, err = http.NewRequest("GET", r.cfg.BaseURL+"/v1/specs", nil)
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	if httpReq.Method == "POST" {
+		httpReq.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := r.client.Do(httpReq)
+	elapsed := time.Since(start)
+	if err != nil {
+		r.book(req.Kind.String()+":transport-error", elapsed)
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, readErr := io.ReadAll(resp.Body)
+	r.book(fmt.Sprintf("%s:%d", req.Kind, resp.StatusCode), elapsed)
+	if readErr != nil {
+		return 0, nil, readErr
+	}
+	return resp.StatusCode, body, nil
+}
+
+// verify checks a 200 body against the request's oracle.
+func (r *runner) verify(req Request, body []byte) error {
+	switch req.Kind {
+	case KindNormalize:
+		var resp serve.NormalizeResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return fmt.Errorf("bad normalize body: %w", err)
+		}
+		if resp.NormalForm != req.WantNF {
+			return fmt.Errorf("%s %q normalized to %q, oracle says %q",
+				req.Spec, req.Term, resp.NormalForm, req.WantNF)
+		}
+	case KindCheck:
+		var resp serve.CheckResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return fmt.Errorf("bad check body: %w", err)
+		}
+		if !resp.OK || len(resp.Specs) != 1 {
+			return fmt.Errorf("probe spec failed its checks: %s", clipBody(body))
+		}
+	default:
+		var resp serve.SpecsResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return fmt.Errorf("bad specs body: %w", err)
+		}
+		if len(resp.Specs) == 0 {
+			return fmt.Errorf("specs listing came back empty")
+		}
+	}
+	return nil
+}
+
+func (r *runner) book(key string, d time.Duration) {
+	r.mu.Lock()
+	r.attempts[key]++
+	r.latencies = append(r.latencies, d)
+	r.mu.Unlock()
+}
+
+func (r *runner) bump(c *int64) {
+	r.mu.Lock()
+	*c++
+	r.mu.Unlock()
+}
+
+func (r *runner) fail(msg string) {
+	r.mu.Lock()
+	r.failed++
+	if len(r.failures) < 5 {
+		r.failures = append(r.failures, msg)
+	}
+	r.mu.Unlock()
+}
+
+// requestsTotalRe matches one adt_requests_total sample on the
+// Prometheus text page.
+var requestsTotalRe = regexp.MustCompile(`(?m)^adt_requests_total\{endpoint="([a-z]+)",code="(\d+)"\} (\d+)$`)
+
+// reconcile fetches GET /metrics (uninstrumented on the server, so the
+// scrape itself never skews the books) and checks that the server's
+// per-(endpoint, code) request counters match the client's attempt
+// counts exactly, in both directions. The harness owns the server for
+// the duration of the run, so any discrepancy is a lost or phantom
+// update — exactly the class of bug the soak tests exist to catch.
+func (r *runner) reconcile(rep *Report) error {
+	resp, err := r.client.Get(r.cfg.BaseURL + "/metrics")
+	if err != nil {
+		return fmt.Errorf("loadgen: scraping /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	page, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("loadgen: reading /metrics: %w", err)
+	}
+	server := make(map[string]int64)
+	for _, m := range requestsTotalRe.FindAllStringSubmatch(string(page), -1) {
+		v, _ := strconv.ParseInt(m[3], 10, 64)
+		server[m[1]+":"+m[2]] = v
+	}
+	for _, key := range SortedKeys(rep.Attempts) {
+		want := rep.Attempts[key]
+		if strings.HasSuffix(key, ":transport-error") {
+			rep.ReconcileErrors = append(rep.ReconcileErrors,
+				fmt.Sprintf("%d attempt(s) died in transport (%s); server-side accounting unverifiable", want, key))
+			continue
+		}
+		if got := server[key]; got != want {
+			rep.ReconcileErrors = append(rep.ReconcileErrors,
+				fmt.Sprintf("%s: client made %d attempt(s), server counted %d", key, want, got))
+		}
+	}
+	for _, key := range SortedKeys(server) {
+		if _, ok := rep.Attempts[key]; !ok {
+			rep.ReconcileErrors = append(rep.ReconcileErrors,
+				fmt.Sprintf("%s: server counted %d request(s) the client never made", key, server[key]))
+		}
+	}
+	return nil
+}
+
+func clipBody(b []byte) string {
+	s := string(b)
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}

@@ -1,0 +1,81 @@
+package loadgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"algspec/internal/faultinject"
+)
+
+// DefaultRule is the rule `adt load -faults` arms a point with when the
+// flag gives only its name. The cadences are co-prime so the combined
+// schedule cycles slowly, and the delays are small enough that a
+// p99=50ms SLO survives them — chaos the service is supposed to absorb,
+// not a denial of service.
+func DefaultRule(name string) faultinject.Rule {
+	switch name {
+	case "serve.handler.delay":
+		return faultinject.Rule{Every: 13, Delay: 2 * time.Millisecond}
+	case "serve.pool.delay":
+		return faultinject.Rule{Every: 17, Delay: time.Millisecond}
+	case "serve.pool.saturate":
+		return faultinject.Rule{Every: 41}
+	case "serve.cache.nf.evict":
+		return faultinject.Rule{Every: 3}
+	case "serve.cache.parse.evict":
+		return faultinject.Rule{Every: 5}
+	case "rewrite.fuel":
+		// Engine points are hit once per reduction, not once per
+		// request, so their cadence is in steps. A default `adt load`
+		// run burns a few hundred reductions (the caches absorb most
+		// repeats), so these fire a handful of times per run.
+		return faultinject.Rule{Every: 251}
+	case "rewrite.cancel":
+		return faultinject.Rule{Every: 397}
+	default:
+		return faultinject.Rule{Every: 11, Delay: time.Millisecond}
+	}
+}
+
+// FaultPlan parses the -faults flag: "all" arms every registered point
+// with its DefaultRule; otherwise a comma-separated list of entries
+// `name`, `name=every` or `name=every:delay` (delay as a Go duration).
+// Unknown names are rejected by faultinject.Arm, not here, so the error
+// can list what is registered.
+func FaultPlan(spec string) (faultinject.Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	plan := faultinject.Plan{}
+	if spec == "all" {
+		for _, name := range faultinject.Names() {
+			plan[name] = DefaultRule(name)
+		}
+		return plan, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		name, arg, hasArg := strings.Cut(part, "=")
+		rule := DefaultRule(name)
+		if hasArg {
+			everyStr, delayStr, hasDelay := strings.Cut(arg, ":")
+			every, err := strconv.ParseUint(everyStr, 10, 64)
+			if err != nil || every == 0 {
+				return nil, fmt.Errorf("loadgen: bad fault cadence in %q (want name=every[:delay])", part)
+			}
+			rule.Every = every
+			if hasDelay {
+				d, err := time.ParseDuration(delayStr)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("loadgen: bad fault delay in %q: want a non-negative duration", part)
+				}
+				rule.Delay = d
+			}
+		}
+		plan[name] = rule
+	}
+	return plan, nil
+}

@@ -1,0 +1,83 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SLO is one latency objective: "the q-quantile of per-attempt latency
+// must not exceed Bound".
+type SLO struct {
+	Quantile float64 // in (0, 1], e.g. 0.99
+	Bound    time.Duration
+}
+
+func (s SLO) String() string {
+	return fmt.Sprintf("p%g=%s", s.Quantile*100, s.Bound)
+}
+
+// ParseSLOs parses "p99=50ms,p50=5ms" into objectives. An empty string
+// means no SLOs are asserted.
+func ParseSLOs(s string) ([]SLO, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []SLO
+	for _, part := range strings.Split(s, ",") {
+		q, b, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || !strings.HasPrefix(q, "p") {
+			return nil, fmt.Errorf("loadgen: bad SLO %q (want pNN=duration, e.g. p99=50ms)", part)
+		}
+		pct, err := strconv.ParseFloat(q[1:], 64)
+		if err != nil || pct <= 0 || pct > 100 {
+			return nil, fmt.Errorf("loadgen: bad SLO quantile %q (want a percentile in (0,100])", q)
+		}
+		bound, err := time.ParseDuration(b)
+		if err != nil || bound <= 0 {
+			return nil, fmt.Errorf("loadgen: bad SLO bound %q: want a positive duration", b)
+		}
+		out = append(out, SLO{Quantile: pct / 100, Bound: bound})
+	}
+	return out, nil
+}
+
+// SLOResult is one objective's verdict over the observed latencies.
+type SLOResult struct {
+	SLO
+	Observed time.Duration
+	OK       bool
+}
+
+// EvalSLOs measures each objective against the attempt latencies.
+// Latencies are wall-clock observations: verdicts are *not* part of the
+// seed-reproducible report section.
+func EvalSLOs(slos []SLO, latencies []time.Duration) []SLOResult {
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]SLOResult, len(slos))
+	for i, s := range slos {
+		obs := Quantile(sorted, s.Quantile)
+		out[i] = SLOResult{SLO: s, Observed: obs, OK: obs <= s.Bound}
+	}
+	return out
+}
+
+// Quantile reads the q-quantile from an ascending-sorted sample using
+// the nearest-rank method (the standard load-testing convention: p99 of
+// 100 samples is the 99th smallest).
+func Quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted)) + 0.999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

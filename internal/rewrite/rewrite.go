@@ -222,6 +222,20 @@ func WithStop(flag *atomic.Bool) Option {
 	return func(sys *System) { sys.stop = flag }
 }
 
+// WithFault installs a fault hook polled once per reduction, right
+// after the step is charged: a non-nil error abandons the normalization
+// with that error. It exists for deterministic fault injection — the
+// serve layer threads internal/faultinject points through it to force
+// ErrFuel (422) and ErrCanceled (504) outcomes on demand — and is the
+// injection twin of WithStop. An *ErrFuel returned with a nil Last is
+// completed by the engine with the actual step count and current term,
+// so an injected fuel error is indistinguishable from a real one.
+// Forks do not inherit the hook (like the stop flag, it belongs to one
+// caller). The hook runs on the engine goroutine; it must not block.
+func WithFault(hook func() error) Option {
+	return func(sys *System) { sys.fault = hook }
+}
+
 // WithInterner makes the system hash-cons into the given interner instead
 // of a private one, so canonical terms (and memo identity) are shared
 // with other systems or a generator.
@@ -268,6 +282,10 @@ type System struct {
 	// via WithStop; Fork deliberately does not inherit it (a fork serves
 	// a different caller with a different deadline).
 	stop *atomic.Bool
+	// fault, when non-nil, is consulted once per spend; a non-nil error
+	// abandons the normalization. Set via WithFault; like stop, Fork
+	// does not inherit it.
+	fault func() error
 
 	// disp folds the native table and the discrimination-tree index into
 	// one map so the hot path pays a single string hash per redex. Built
@@ -512,6 +530,19 @@ func (s *System) spend(last *term.Term) error {
 	s.stats.Steps++
 	if s.stop != nil && s.stats.Steps&stopCheckMask == 0 && s.stop.Load() {
 		return fmt.Errorf("%w near %s", ErrCanceled, clip(last))
+	}
+	if s.fault != nil {
+		if err := s.fault(); err != nil {
+			// An injected fuel error carries no engine state; fill in the
+			// real step count and position so it reads like the genuine
+			// article to every caller.
+			var fe *ErrFuel
+			if errors.As(err, &fe) && fe.Last == nil {
+				fe.Steps = s.stats.Steps - (s.budget - s.maxSteps)
+				fe.Last = last
+			}
+			return err
+		}
 	}
 	if s.stats.Steps > s.budget {
 		// Report the steps actually spent by this outermost call (the

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"algspec/internal/faultinject"
 	"algspec/internal/term"
 )
 
@@ -38,6 +39,11 @@ type lruCache[K comparable, V any] struct {
 	hash   func(K) uintptr
 	hits   atomic.Int64
 	misses atomic.Int64
+	// evict is this cache's poison-eviction fault point: when it fires,
+	// Put drops the new entry (and removes any entry already cached
+	// under the key) instead of storing, forcing recomputation. One
+	// atomic load while disarmed.
+	evict *faultinject.Point
 }
 
 type lruShard[K comparable, V any] struct {
@@ -107,6 +113,20 @@ func (c *lruCache[K, V]) Put(key K, val V) {
 		return
 	}
 	sh := c.shard(key)
+	if c.evict != nil {
+		if _, ok := c.evict.Fire(); ok {
+			// Poison-eviction fault: lose this write, and take any cached
+			// entry for the key with it. Correctness must survive — the
+			// cache is an accelerator, never a source of truth.
+			sh.mu.Lock()
+			if el, found := sh.items[key]; found {
+				sh.order.Remove(el)
+				delete(sh.items, key)
+			}
+			sh.mu.Unlock()
+			return
+		}
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if el, ok := sh.items[key]; ok {
@@ -159,11 +179,15 @@ type cacheEntry struct {
 type nfCache = lruCache[*term.Term, cacheEntry]
 
 func newNFCache(capacity int) *nfCache {
-	return newLRU[*term.Term, cacheEntry](capacity, func(k *term.Term) uintptr {
+	c := newLRU[*term.Term, cacheEntry](capacity, func(k *term.Term) uintptr {
 		// Low pointer bits are alignment zeros; the shard fold discards
 		// them.
 		return uintptr(unsafe.Pointer(k))
 	})
+	if c != nil {
+		c.evict = fpNFEvict
+	}
+	return c
 }
 
 // parseCache maps (spec, term text) — joined with a NUL, which the
@@ -173,7 +197,11 @@ type parseCache = lruCache[string, *term.Term]
 var parseSeed = maphash.MakeSeed()
 
 func newParseCache(capacity int) *parseCache {
-	return newLRU[string, *term.Term](capacity, func(k string) uintptr {
+	c := newLRU[string, *term.Term](capacity, func(k string) uintptr {
 		return uintptr(maphash.String(parseSeed, k))
 	})
+	if c != nil {
+		c.evict = fpParseEvict
+	}
+	return c
 }

@@ -1,0 +1,132 @@
+package serve_test
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"algspec/internal/faultinject"
+	"algspec/internal/serve"
+)
+
+// arm arms the given plan for the duration of the test. The registry is
+// process-global, so fault tests must not run in parallel with each
+// other or with any other serve test.
+func arm(t *testing.T, plan faultinject.Plan) {
+	t.Helper()
+	if err := faultinject.Arm(plan); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Disarm)
+}
+
+// TestFaultSaturation drives the pool-saturation point: with Every=1
+// every cache-missing normalize is bounced as 504, and disarming
+// restores service without a restart.
+func TestFaultSaturation(t *testing.T) {
+	ts := newTestServer(t, serve.Config{Workers: 2})
+	arm(t, faultinject.Plan{"serve.pool.saturate": {Every: 1}})
+
+	code, body := do(t, ts, "POST", "/v1/normalize", `{"spec":"Queue","term":"front(add(new, 'sat1))"}`)
+	if code != http.StatusGatewayTimeout || !strings.Contains(body, "before a worker was free") {
+		t.Fatalf("saturated normalize = %d: %s", code, body)
+	}
+	faultinject.Disarm()
+	code, _ = do(t, ts, "POST", "/v1/normalize", `{"spec":"Queue","term":"front(add(new, 'sat2))"}`)
+	if code != http.StatusOK {
+		t.Fatalf("normalize after disarm = %d", code)
+	}
+}
+
+// TestFaultEngineErrors injects the two engine-level faults and checks
+// they surface exactly like organic fuel exhaustion and cancellation.
+func TestFaultEngineErrors(t *testing.T) {
+	ts := newTestServer(t, serve.Config{Workers: 2})
+
+	arm(t, faultinject.Plan{"rewrite.fuel": {Every: 1}})
+	code, body := do(t, ts, "POST", "/v1/normalize", `{"spec":"Queue","term":"front(add(new, 'fuel))"}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("injected fuel fault = %d: %s", code, body)
+	}
+
+	arm(t, faultinject.Plan{"rewrite.cancel": {Every: 1}})
+	code, body = do(t, ts, "POST", "/v1/normalize", `{"spec":"Queue","term":"front(add(new, 'cxl))"}`)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("injected cancel fault = %d: %s", code, body)
+	}
+}
+
+// TestFaultCacheEviction proves the poison-eviction point degrades the
+// cache without ever corrupting results: with every Put dropped the
+// same request stays a cache miss forever (correct answer, cached
+// false), and after disarming the second hit caches normally.
+func TestFaultCacheEviction(t *testing.T) {
+	ts := newTestServer(t, serve.Config{Workers: 2})
+	arm(t, faultinject.Plan{"serve.cache.nf.evict": {Every: 1}})
+
+	req := `{"spec":"Queue","term":"front(add(add(new, 'ev), 'x))"}`
+	for i := 0; i < 2; i++ {
+		code, body := do(t, ts, "POST", "/v1/normalize", req)
+		if code != http.StatusOK || !strings.Contains(body, `"'ev"`) {
+			t.Fatalf("evicted normalize #%d = %d: %s", i, code, body)
+		}
+		if !strings.Contains(body, `"cached": false`) {
+			t.Fatalf("request #%d hit a cache whose every Put is dropped: %s", i, body)
+		}
+	}
+	faultinject.Disarm()
+	do(t, ts, "POST", "/v1/normalize", req)
+	code, body := do(t, ts, "POST", "/v1/normalize", req)
+	if code != http.StatusOK || !strings.Contains(body, `"cached": true`) {
+		t.Fatalf("cache did not recover after disarm: %d: %s", code, body)
+	}
+}
+
+// TestFaultDelays arms both delay points and checks requests still
+// succeed while the points actually fire.
+func TestFaultDelays(t *testing.T) {
+	ts := newTestServer(t, serve.Config{Workers: 2})
+	arm(t, faultinject.Plan{
+		"serve.handler.delay": {Every: 1, Delay: 2 * time.Millisecond},
+		"serve.pool.delay":    {Every: 1, Delay: time.Millisecond},
+	})
+	start := time.Now()
+	code, _ := do(t, ts, "POST", "/v1/normalize", `{"spec":"Queue","term":"front(add(new, 'dly))"}`)
+	if code != http.StatusOK {
+		t.Fatalf("delayed normalize = %d", code)
+	}
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Errorf("request took %s, expected at least the 3ms of injected delay", elapsed)
+	}
+	snap := faultinject.Snapshot()
+	for _, name := range []string{"serve.handler.delay", "serve.pool.delay"} {
+		if snap[name].Fires == 0 {
+			t.Errorf("point %s never fired: %+v", name, snap[name])
+		}
+	}
+}
+
+// TestFaultPointsInertWhenDisarmed pins the zero-overhead contract's
+// observable half: with nothing armed, fault points neither fire nor
+// count, so a full request leaves every counter untouched.
+func TestFaultPointsInertWhenDisarmed(t *testing.T) {
+	ts := newTestServer(t, serve.Config{Workers: 2})
+	// Arm-then-disarm resets the counters to a known zero.
+	arm(t, faultinject.Plan{"serve.pool.saturate": {Every: 1}})
+	faultinject.Disarm()
+
+	for i := 0; i < 5; i++ {
+		code, _ := do(t, ts, "POST", "/v1/normalize",
+			fmt.Sprintf(`{"spec":"Queue","term":"front(add(new, 'inert%d))"}`, i))
+		if code != http.StatusOK {
+			t.Fatalf("normalize #%d = %d", i, code)
+		}
+	}
+	for name, c := range faultinject.Snapshot() {
+		if c.Hits != 0 || c.Fires != 0 {
+			t.Errorf("disarmed point %s counted activity: %+v", name, c)
+		}
+	}
+}

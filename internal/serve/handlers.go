@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"strings"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 	"algspec/internal/complete"
 	"algspec/internal/consist"
 	"algspec/internal/core"
+	"algspec/internal/faultinject"
 	"algspec/internal/lang"
 	"algspec/internal/rewrite"
 	"algspec/internal/speclib"
@@ -111,6 +113,39 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Write(data)
 }
 
+// maxBodyBytes caps POST bodies: a term or spec source that needs more
+// than a megabyte is not a request, it is an attack (or a bug), and
+// reading it unbounded would let one client exhaust server memory.
+const maxBodyBytes = 1 << 20
+
+// readJSON enforces the POST contract and decodes the body into v:
+// the Content-Type must be application/json (415 otherwise — a client
+// sending a form or raw bytes should learn so before its payload is
+// half-interpreted), and the body is capped at maxBodyBytes via
+// http.MaxBytesReader (413 on overflow, and the connection is closed so
+// the rest of the oversized body is never read). Returns false when it
+// already wrote an error response.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err != nil || mt != "application/json" {
+		writeJSON(w, http.StatusUnsupportedMediaType,
+			ErrorResponse{Error: fmt.Sprintf("Content-Type must be application/json (got %q)", ct)})
+		return false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				ErrorResponse{Error: fmt.Sprintf("request body exceeds the %d-byte limit", tooBig.Limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid JSON body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
 // writeParseError answers 400, attaching the first syntax-error
 // position when the error carries one.
 func writeParseError(w http.ResponseWriter, err error) {
@@ -128,8 +163,7 @@ func writeParseError(w http.ResponseWriter, err error) {
 
 func (s *Server) handleNormalize(w http.ResponseWriter, r *http.Request) {
 	var req NormalizeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid JSON body: " + err.Error()})
+	if !readJSON(w, r, &req) {
 		return
 	}
 	sp, ok := s.env.Get(req.Spec)
@@ -189,6 +223,12 @@ func (s *Server) handleNormalize(w http.ResponseWriter, r *http.Request) {
 
 	var trace []TraceStep
 	opts := []rewrite.Option{rewrite.WithMaxSteps(fuel), rewrite.WithStop(&stop)}
+	if faultinject.Armed() {
+		// The engine-level fault points ride the request's fork via the
+		// same seam the deadline does; the Armed check keeps the normal
+		// path free of the extra option (and its closure).
+		opts = append(opts, rewrite.WithFault(engineFaultHook))
+	}
 	if req.Trace {
 		opts = append(opts, rewrite.WithTrace(func(ts rewrite.TraceStep) {
 			trace = append(trace, TraceStep{Rule: ts.Rule.Label, Before: ts.Before.String(), After: ts.After.String()})
@@ -258,8 +298,7 @@ func (s *Server) requestContext(r *http.Request, timeoutMs int) (context.Context
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	var req CheckRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid JSON body: " + err.Error()})
+	if !readJSON(w, r, &req) {
 		return
 	}
 	if strings.TrimSpace(req.Source) == "" {

@@ -1,0 +1,90 @@
+package serve_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"algspec/internal/serve"
+)
+
+// doRaw is do() without the automatic Content-Type, for exercising the
+// media-type guard.
+func doRaw(t testing.TB, ts *httptest.Server, method, path, contentType, body string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+// TestContentTypeEnforced pins the 415 path on both POST endpoints:
+// form posts, raw bytes and missing headers must all be refused before
+// a byte of the body is interpreted.
+func TestContentTypeEnforced(t *testing.T) {
+	ts := newTestServer(t, serve.Config{Workers: 2})
+
+	code, body := doRaw(t, ts, "POST", "/v1/normalize",
+		"application/x-www-form-urlencoded", `spec=Queue&term=new`)
+	if code != http.StatusUnsupportedMediaType {
+		t.Fatalf("form post = %d: %s", code, body)
+	}
+	checkGolden(t, "unsupported_media_type.json", body)
+
+	for _, ct := range []string{"", "text/plain", "application/jsonx"} {
+		for _, path := range []string{"/v1/normalize", "/v1/check"} {
+			code, body := doRaw(t, ts, "POST", path, ct, `{"spec":"Queue","term":"new"}`)
+			if code != http.StatusUnsupportedMediaType {
+				t.Errorf("POST %s with Content-Type %q = %d: %s", path, ct, code, body)
+			}
+		}
+	}
+
+	// A charset parameter on the right media type is still JSON.
+	code, body = doRaw(t, ts, "POST", "/v1/normalize",
+		"application/json; charset=utf-8", `{"spec":"Queue","term":"isEmpty?(new)"}`)
+	if code != http.StatusOK || !strings.Contains(body, `"true"`) {
+		t.Errorf("charset-parameterized JSON = %d: %s", code, body)
+	}
+}
+
+// TestBodySizeCapped pins the 413 path: a body over the megabyte cap is
+// cut off by http.MaxBytesReader, on both POST endpoints.
+func TestBodySizeCapped(t *testing.T) {
+	ts := newTestServer(t, serve.Config{Workers: 2})
+	huge := `{"spec":"Queue","term":"` + strings.Repeat(" ", 1<<20) + `new"}`
+
+	code, body := doRaw(t, ts, "POST", "/v1/normalize", "application/json", huge)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized normalize = %d: %s", code, body)
+	}
+	checkGolden(t, "body_too_large.json", body)
+
+	code, body = doRaw(t, ts, "POST", "/v1/check", "application/json", huge)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized check = %d: %s", code, body)
+	}
+
+	// Just under the cap must still be parsed (and then rejected on its
+	// merits, not its size).
+	small := `{"spec":"Queue","term":"isEmpty?(new)"}`
+	code, body = doRaw(t, ts, "POST", "/v1/normalize", "application/json", small)
+	if code != http.StatusOK {
+		t.Errorf("normal-sized body = %d: %s", code, body)
+	}
+}

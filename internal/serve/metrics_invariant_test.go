@@ -1,0 +1,128 @@
+package serve_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"algspec/internal/serve"
+)
+
+// counterLine matches any single-value metric sample (counters and
+// gauges; histogram buckets carry an le label and are parsed apart).
+var counterLine = regexp.MustCompile(`(?m)^(adt_[a-z_]+(?:\{[^}]*\})?) ([0-9.e+-]+)$`)
+
+// bucketLine matches one histogram bucket sample, capturing the
+// endpoint, the le bound and the cumulative count.
+var bucketLine = regexp.MustCompile(`(?m)^adt_request_duration_seconds_bucket\{endpoint="([a-z]+)",le="([^"]+)"\} (\d+)$`)
+
+func scrape(t *testing.T, url string) (map[string]float64, string) {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(data)
+	samples := make(map[string]float64)
+	for _, m := range counterLine.FindAllStringSubmatch(page, -1) {
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			t.Fatalf("unparseable sample %q: %v", m[0], err)
+		}
+		samples[m[1]] = v
+	}
+	return samples, page
+}
+
+// TestMetricsMonotoneUnderLoad scrapes /metrics twice with concurrent
+// traffic in between and asserts the counter contract: every cumulative
+// series is monotone non-decreasing, and within each histogram the
+// buckets are cumulative-monotone in le with le="+Inf" equal to _count.
+func TestMetricsMonotoneUnderLoad(t *testing.T) {
+	ts := newTestServer(t, serve.Config{Workers: 4})
+
+	hammer := func(rounds int) {
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					switch i % 3 {
+					case 0:
+						do(t, ts, "POST", "/v1/normalize",
+							fmt.Sprintf(`{"spec":"Queue","term":"front(add(new, 'w%dr%d))"}`, w, i))
+					case 1:
+						do(t, ts, "POST", "/v1/normalize", `{"spec":"Ghost","term":"x"}`)
+					default:
+						do(t, ts, "GET", "/v1/specs", "")
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	hammer(10)
+	before, _ := scrape(t, ts.URL)
+	hammer(10)
+	after, page := scrape(t, ts.URL)
+
+	gauges := map[string]bool{"adt_in_flight": true, "adt_interned_terms": true}
+	for series, v0 := range before {
+		name, _, _ := strings.Cut(series, "{")
+		if gauges[name] {
+			continue
+		}
+		v1, ok := after[series]
+		if !ok {
+			t.Errorf("series %s vanished between scrapes", series)
+			continue
+		}
+		if v1 < v0 {
+			t.Errorf("counter %s went backwards: %g -> %g", series, v0, v1)
+		}
+	}
+
+	// Histogram shape: per endpoint, bucket counts appear in exposition
+	// order (ascending le, +Inf last) and must be non-decreasing, with
+	// the +Inf bucket equal to the series _count.
+	buckets := make(map[string][]int64)
+	inf := make(map[string]int64)
+	for _, m := range bucketLine.FindAllStringSubmatch(page, -1) {
+		n, _ := strconv.ParseInt(m[3], 10, 64)
+		if m[2] == "+Inf" {
+			inf[m[1]] = n
+		}
+		buckets[m[1]] = append(buckets[m[1]], n)
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no histogram buckets on the metrics page")
+	}
+	for ep, counts := range buckets {
+		for i := 1; i < len(counts); i++ {
+			if counts[i] < counts[i-1] {
+				t.Errorf("endpoint %s: bucket %d (%d) below bucket %d (%d); cumulative histograms must be monotone in le",
+					ep, i, counts[i], i-1, counts[i-1])
+			}
+		}
+		count, ok := after[fmt.Sprintf(`adt_request_duration_seconds_count{endpoint=%q}`, ep)]
+		if !ok {
+			t.Errorf("endpoint %s: histogram has buckets but no _count", ep)
+			continue
+		}
+		if float64(inf[ep]) != count {
+			t.Errorf("endpoint %s: le=\"+Inf\" bucket %d != _count %g", ep, inf[ep], count)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"algspec/internal/rewrite"
 	"algspec/internal/term"
@@ -66,6 +67,10 @@ func newPool(workers int, rec *rewrite.StatsRecorder) *pool {
 func (p *pool) worker() {
 	defer p.workersWG.Done()
 	for j := range p.jobs {
+		if r, ok := fpPoolDelay.Fire(); ok {
+			// Injected worker stall: queue pressure without queue growth.
+			time.Sleep(r.Delay)
+		}
 		if j.stop != nil && j.stop.Load() {
 			// The deadline passed while the job sat in the queue; don't
 			// start work nobody is waiting for.
@@ -91,6 +96,13 @@ func (p *pool) submit(j *normJob) error {
 	p.submits.Add(1)
 	p.mu.Unlock()
 	defer p.submits.Done()
+	if _, ok := fpPoolSaturate.Fire(); ok {
+		// Injected saturation: behave as a full queue whose slot never
+		// frees within the deadline. Returning the context error directly
+		// (instead of blocking until it expires) keeps the fault cheap
+		// and its schedule deterministic; the handler maps it to 504.
+		return context.DeadlineExceeded
+	}
 	select {
 	case p.jobs <- j:
 		return nil

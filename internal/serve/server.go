@@ -122,6 +122,11 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 		s.met.inFlight.Add(1)
 		defer s.met.inFlight.Add(-1)
 		start := time.Now()
+		if rule, ok := fpHandlerDelay.Fire(); ok {
+			// Injected stall inside the measured window, so it shows up
+			// in the latency histogram exactly like a real one.
+			time.Sleep(rule.Delay)
+		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
 		s.met.observe(endpoint, sw.code, time.Since(start).Seconds())
