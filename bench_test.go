@@ -469,6 +469,23 @@ func BenchmarkAblationDiscTree(b *testing.B) {
 	})
 }
 
+// Compiled machine tier (register-addressed match programs, build-tree
+// evaluation over arena scratch terms) vs the discrimination-tree
+// interpreter, on the E1 queue workload. The optionless engine resolves
+// to the compiled tier; WithoutCompiledTier pins the interpreter.
+func BenchmarkAblationCompiledTier(b *testing.B) {
+	env := speclib.BaseEnv()
+	sp := env.MustGet("Queue")
+	ops := queueWorkload(64)
+	items := []string{"a", "b", "c", "d"}
+	b.Run("compiled", func(b *testing.B) {
+		runQueueSpec(b, rewrite.New(sp), ops, items)
+	})
+	b.Run("interp", func(b *testing.B) {
+		runQueueSpec(b, rewrite.New(sp, rewrite.WithoutCompiledTier()), ops, items)
+	})
+}
+
 // batchEvalTerms builds the deterministic workload for BenchmarkBatchEval:
 // a spread of queue observations over growing states.
 func batchEvalTerms(n int) []*term.Term {

@@ -252,6 +252,7 @@ func cmdEval(args []string, out io.Writer, traced bool) error {
 	lib := fs.Bool("lib", true, "preload the embedded specification library")
 	specName := fs.String("spec", "", "specification to evaluate against (required)")
 	stats := fs.Bool("stats", false, "print engine work counters (steps, rule fires, memo hits, native calls) after the normal form")
+	engine := fs.String("engine", "compiled", "evaluation tier: compiled (abstract rewrite machine, default) or interp (reference interpreter)")
 	workers := fs.Int("workers", 0, "worker goroutines when several terms are given (0 = GOMAXPROCS)")
 	rest, err := parseInterleaved(fs, args)
 	if err != nil {
@@ -259,6 +260,10 @@ func cmdEval(args []string, out io.Writer, traced bool) error {
 	}
 	if *specName == "" || len(rest) == 0 {
 		return fmt.Errorf("eval requires -spec NAME and at least one TERM argument")
+	}
+	engineOpts, err := engineOptions(*engine)
+	if err != nil {
+		return err
 	}
 	// Leading positional arguments that name existing files are loaded as
 	// specifications; everything after the first non-file is a term, so
@@ -298,7 +303,7 @@ func cmdEval(args []string, out io.Writer, traced bool) error {
 	}
 	// Fork so the env's cached system keeps clean counters; the fork
 	// shares the compiled program and interner.
-	sys = sys.Fork()
+	sys = sys.Fork(engineOpts...)
 	terms := make([]*term.Term, len(termSrcs))
 	for i, src := range termSrcs {
 		if terms[i], err = env.ParseTerm(*specName, src); err != nil {
@@ -314,11 +319,27 @@ func cmdEval(args []string, out io.Writer, traced bool) error {
 	}
 	if *stats {
 		d := sys.Stats()
-		fmt.Fprintf(out, "stats: steps=%d rule-fires=%d memo-hits=%d native-calls=%d interned=%d\n",
-			d.Steps, d.RuleFires, d.MemoHits, d.NativeCalls,
+		fmt.Fprintf(out, "stats: tier=%s steps=%d rule-fires=%d memo-hits=%d native-calls=%d interned=%d\n",
+			sys.Tier(), d.Steps, d.RuleFires, d.MemoHits, d.NativeCalls,
 			sys.Interner().Size())
 	}
 	return nil
+}
+
+// engineOptions maps the -engine flag to rewrite options: "compiled"
+// is the default tier selection (the abstract rewrite machine, with
+// its interpreter fallback for configurations the machine does not
+// serve), "interp" pins the reference interpreter. Anything else is a
+// usage error.
+func engineOptions(engine string) ([]rewrite.Option, error) {
+	switch engine {
+	case "compiled":
+		return nil, nil
+	case "interp":
+		return []rewrite.Option{rewrite.WithoutCompiledTier()}, nil
+	default:
+		return nil, fmt.Errorf("unknown -engine %q (want compiled or interp)", engine)
+	}
 }
 
 func cmdVerify(args []string, out io.Writer) error {

@@ -54,7 +54,7 @@ func TestEvalStats(t *testing.T) {
 	if len(lines) != 2 || lines[0] != "'b" {
 		t.Fatalf("out = %q", out)
 	}
-	if !strings.HasPrefix(lines[1], "stats: steps=") ||
+	if !strings.HasPrefix(lines[1], "stats: tier=compiled steps=") ||
 		!strings.Contains(lines[1], "rule-fires=") ||
 		!strings.Contains(lines[1], "memo-hits=") ||
 		!strings.Contains(lines[1], "native-calls=") ||
@@ -244,5 +244,36 @@ func TestUsageAndUnknown(t *testing.T) {
 	if code, out, _ := runWith(t, "help"); code != 0 ||
 		!strings.Contains(out, "algebraic specification toolchain") {
 		t.Errorf("help: exit = %d, out = %q", code, out)
+	}
+}
+
+func TestEvalEngineFlag(t *testing.T) {
+	// Both tiers must agree on the answer; -stats surfaces which tier ran.
+	for _, tc := range []struct{ engine, tier string }{
+		{"compiled", "tier=compiled"},
+		{"interp", "tier=interp"},
+	} {
+		code, out, errOut := runWith(t, "eval", "-spec", "Queue", "-engine", tc.engine, "-stats",
+			"front(add(add(new, 'x), 'y))")
+		if code != 0 {
+			t.Fatalf("-engine %s: exit = %d, stderr = %q", tc.engine, code, errOut)
+		}
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if lines[0] != "'x" {
+			t.Errorf("-engine %s: out = %q", tc.engine, out)
+		}
+		if !strings.Contains(lines[1], tc.tier) {
+			t.Errorf("-engine %s: stats line %q missing %q", tc.engine, lines[1], tc.tier)
+		}
+	}
+}
+
+func TestEvalEngineFlagRejectsUnknown(t *testing.T) {
+	code, _, errOut := runWith(t, "eval", "-spec", "Queue", "-engine", "turbo", "front(new)")
+	if code == 0 {
+		t.Fatalf("unknown -engine accepted")
+	}
+	if !strings.Contains(errOut, `unknown -engine "turbo"`) {
+		t.Errorf("stderr = %q, want unknown-engine usage error", errOut)
 	}
 }

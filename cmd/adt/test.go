@@ -50,8 +50,14 @@ func cmdTest(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 0, "generator seed; 0 picks one and prints it, so any failure is replayable")
 	workers := fs.Int("workers", 0, "worker goroutines for batch normalization (0 = GOMAXPROCS)")
 	mutate := fs.Bool("mutate", false, "mutation smoke mode: perturb each axiom RHS and require the oracle to notice")
+	engine := fs.String("engine", "compiled", "evaluation tier for the axiom oracles: compiled or interp")
 	diff := fs.Bool("diff", true, "differential mode: normalize a corpus under all engine configurations")
 	files, err := parseInterleaved(fs, args)
+	if err != nil {
+		return err
+	}
+
+	engineOpts, err := engineOptions(*engine)
 	if err != nil {
 		return err
 	}
@@ -107,6 +113,9 @@ func cmdTest(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// The tier choice rides the oracle system; the differential mode
+		// below always runs both tiers regardless.
+		sys = sys.Fork(engineOpts...)
 		cfg := axtest.Config{
 			N:       *n,
 			Depth:   *depth,

@@ -47,7 +47,7 @@ func TestTestSubcommandMutationAcceptance(t *testing.T) {
 	for _, want := range []string{
 		"axiom oracle of PQueue",
 		"differential engines of PQueue",
-		"8 engine(s)",
+		"10 engine(s)",
 		"mutation smoke of PQueue: 6/6 mutant(s) killed",
 		"seed 7: OK",
 	} {

@@ -33,6 +33,8 @@ func benchExport(out io.Writer, path string, env *core.Env) error {
 		measure("ablation_nomemo_nat_addn", benchPlainNat(env)),
 		measure("ablation_disctree_on", benchQueueSpecOpts(env, 64)),
 		measure("ablation_disctree_off", benchQueueSpecOpts(env, 64, rewrite.WithoutDiscTree())),
+		measure("ablation_compiled_on", benchQueueSpecOpts(env, 64)),
+		measure("ablation_compiled_off", benchQueueSpecOpts(env, 64, rewrite.WithoutCompiledTier())),
 		measure("batch_eval_w1", benchBatchEval(env, 1)),
 		measure("batch_eval_w4", benchBatchEval(env, 4)),
 	}
@@ -67,7 +69,8 @@ func benchQueueSpec(env *core.Env, n int) func(b *testing.B) {
 }
 
 // benchQueueSpecOpts is benchQueueSpec with engine options, used for the
-// matching-automaton ablation (WithoutDiscTree).
+// matching-automaton ablation (WithoutDiscTree) and the compiled-tier
+// ablation (WithoutCompiledTier).
 func benchQueueSpecOpts(env *core.Env, n int, opts ...rewrite.Option) func(b *testing.B) {
 	sp := env.MustGet("Queue")
 	items := []string{"a", "b", "c", "d"}

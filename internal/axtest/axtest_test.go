@@ -190,7 +190,7 @@ end
 }
 
 // TestEnginesAgreeAllSpecs runs the differential driver over every
-// bundled spec: all eight engine configurations must produce identical
+// bundled spec: all ten engine configurations must produce identical
 // normal forms, and step counts must match within comparability classes.
 func TestEnginesAgreeAllSpecs(t *testing.T) {
 	env, names := loadAll(t)
@@ -205,8 +205,8 @@ func TestEnginesAgreeAllSpecs(t *testing.T) {
 			if !rep.OK() {
 				t.Errorf("engines disagree:\n%s", rep)
 			}
-			if len(rep.Engines) != 8 {
-				t.Errorf("want 8 engines, got %d", len(rep.Engines))
+			if len(rep.Engines) != 10 {
+				t.Errorf("want 10 engines, got %d", len(rep.Engines))
 			}
 			for _, e := range rep.Engines {
 				memoHits += e.Stats.MemoHits

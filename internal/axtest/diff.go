@@ -105,11 +105,12 @@ func (r *DiffReport) String() string {
 }
 
 // CheckEngines builds one ground corpus for the spec and normalizes it
-// under all eight engine configurations — memo on/off x discrimination
-// tree on/off x NormalizeAll workers 1/N — requiring identical normal
-// forms everywhere and identical step counts within each comparability
-// class. The corpus applies every non-constructor operation to exhaustive
-// constructor instantiations up to Depth, plus random deeper ones.
+// under all ten engine configurations — compiled machine vs interpreter
+// (disc tree and MatchBind) x memo on/off x NormalizeAll workers 1/N —
+// requiring identical normal forms everywhere and identical step counts
+// within each comparability class. The corpus applies every
+// non-constructor operation to exhaustive constructor instantiations up
+// to Depth, plus random deeper ones.
 func CheckEngines(sp *spec.Spec, cfg DiffConfig) *DiffReport {
 	cfg = cfg.withDefaults()
 	rep := &DiffReport{Spec: sp.Name, Seed: cfg.Seed}
@@ -126,8 +127,15 @@ func CheckEngines(sp *spec.Spec, cfg DiffConfig) *DiffReport {
 		workers int
 	}
 	engines := []engine{
-		{"disctree/w1", classPlain, nil, 1},
-		{fmt.Sprintf("disctree/w%d", cfg.Workers), classPlain, nil, cfg.Workers},
+		// The optionless baseline resolves to the compiled tier (the
+		// abstract rewrite machine); WithoutCompiledTier pins the same
+		// discrimination-tree matching on the interpreter, so the first
+		// four rows differentiate machine against interpreter directly —
+		// identical normal forms AND identical step counts required.
+		{"compiled/w1", classPlain, nil, 1},
+		{fmt.Sprintf("compiled/w%d", cfg.Workers), classPlain, nil, cfg.Workers},
+		{"disctree/w1", classPlain, []rewrite.Option{rewrite.WithoutCompiledTier()}, 1},
+		{fmt.Sprintf("disctree/w%d", cfg.Workers), classPlain, []rewrite.Option{rewrite.WithoutCompiledTier()}, cfg.Workers},
 		{"matchbind/w1", classPlain, []rewrite.Option{rewrite.WithoutDiscTree()}, 1},
 		{fmt.Sprintf("matchbind/w%d", cfg.Workers), classPlain, []rewrite.Option{rewrite.WithoutDiscTree()}, cfg.Workers},
 		{"memo/w1", classMemoSeq, []rewrite.Option{rewrite.WithMemo()}, 1},

@@ -1,0 +1,133 @@
+package rewrite_test
+
+import (
+	"testing"
+
+	"algspec/internal/core"
+	"algspec/internal/loadgen"
+	"algspec/internal/rewrite"
+	"algspec/internal/speclib"
+	"algspec/internal/term"
+)
+
+// TestCompiledTierMatchesInterpreter is the machine tier's conformance
+// gate: over every library spec and the full golden-corpus battery, the
+// compiled tier and the interpreter must agree on the normal form, on
+// error acceptance, and on the exact step count of every single term.
+// Step-count identity is the strong claim — it proves the machine
+// performs the same reduction sequence (same strictness short-circuits,
+// same if-laziness, same rule priorities), not merely one that happens
+// to converge on the same answer.
+func TestCompiledTierMatchesInterpreter(t *testing.T) {
+	env := core.NewEnv()
+	env.MustLoad(speclib.Sources...)
+
+	covered := 0
+	for _, name := range speclib.Names {
+		sp := env.MustGet(name)
+		battery := loadgen.Battery(name)
+
+		compiled := rewrite.New(sp)
+		interp := compiled.Fork(rewrite.WithoutCompiledTier())
+		if got := compiled.Tier(); got != "compiled" {
+			t.Fatalf("%s: default system resolved to tier %q, want compiled", name, got)
+		}
+		if got := interp.Tier(); got != "interp" {
+			t.Fatalf("%s: WithoutCompiledTier fork resolved to tier %q, want interp", name, got)
+		}
+
+		// The battery plus every axiom's own ground instances-of-interest:
+		// each rule LHS with variables closed over the battery would need a
+		// generator; the battery alone exercises every spec (loadgen's own
+		// tests pin that), so parse it and normalize term by term.
+		var corpus []*term.Term
+		for _, src := range battery {
+			tm, err := env.ParseTerm(name, src)
+			if err != nil {
+				t.Fatalf("%s: parse %q: %v", name, src, err)
+			}
+			corpus = append(corpus, tm)
+		}
+		if len(corpus) == 0 {
+			t.Fatalf("%s: empty golden battery — corpus coverage regressed", name)
+		}
+
+		for j, tm := range corpus {
+			cBefore := compiled.Stats().Steps
+			iBefore := interp.Stats().Steps
+			cnf, cerr := compiled.Normalize(tm)
+			inf, ierr := interp.Normalize(tm)
+			if (cerr == nil) != (ierr == nil) {
+				t.Errorf("%s: %s: error asymmetry: compiled %v, interp %v",
+					name, battery[j], cerr, ierr)
+				continue
+			}
+			if cerr != nil {
+				continue
+			}
+			if !cnf.Equal(inf) {
+				t.Errorf("%s: %s: normal forms differ:\n  compiled: %s\n  interp:   %s",
+					name, battery[j], cnf, inf)
+			}
+			cSteps := compiled.Stats().Steps - cBefore
+			iSteps := interp.Stats().Steps - iBefore
+			if cSteps != iSteps {
+				t.Errorf("%s: %s: step counts differ: compiled %d, interp %d",
+					name, battery[j], cSteps, iSteps)
+			}
+		}
+		covered++
+
+		cs, is := compiled.Stats(), interp.Stats()
+		if cs.CompiledEvals == 0 || cs.InterpEvals != 0 {
+			t.Errorf("%s: compiled system ran evals compiled=%d interp=%d, want all compiled",
+				name, cs.CompiledEvals, cs.InterpEvals)
+		}
+		if is.InterpEvals == 0 || is.CompiledEvals != 0 {
+			t.Errorf("%s: interp system ran evals compiled=%d interp=%d, want all interp",
+				name, is.CompiledEvals, is.InterpEvals)
+		}
+	}
+	if covered != len(speclib.Names) {
+		t.Fatalf("covered %d specs, want %d", covered, len(speclib.Names))
+	}
+}
+
+// TestCompiledTierErrorParity pins the strictness and fuel behaviour of
+// the machine tier against the interpreter on terms that reduce to the
+// error value or exhaust their budget: acceptance (which error, if any)
+// and step counts must match exactly.
+func TestCompiledTierErrorParity(t *testing.T) {
+	env := core.NewEnv()
+	env.MustLoad(speclib.Sources...)
+	sp := env.MustGet("Queue")
+
+	cases := []string{
+		"front(new)",                  // error axiom fires
+		"remove(new)",                 // error axiom fires
+		"front(remove(add(new, 'a)))", // error via nested reduction
+		"add(remove(new), 'a)",        // strict constructor over an error argument
+		"isEmpty?(remove(new))",       // strictness through a predicate
+	}
+	compiled := rewrite.New(sp)
+	interp := compiled.Fork(rewrite.WithoutCompiledTier())
+	for _, src := range cases {
+		tm, err := env.ParseTerm("Queue", src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		cBefore := compiled.Stats().Steps
+		iBefore := interp.Stats().Steps
+		cnf, cerr := compiled.Normalize(tm)
+		inf, ierr := interp.Normalize(tm)
+		if (cerr == nil) != (ierr == nil) {
+			t.Fatalf("%s: error asymmetry: compiled %v, interp %v", src, cerr, ierr)
+		}
+		if cerr == nil && !cnf.Equal(inf) {
+			t.Errorf("%s: normal forms differ: compiled %s, interp %s", src, cnf, inf)
+		}
+		if c, i := compiled.Stats().Steps-cBefore, interp.Stats().Steps-iBefore; c != i {
+			t.Errorf("%s: step counts differ: compiled %d, interp %d", src, c, i)
+		}
+	}
+}

@@ -135,22 +135,29 @@ type Stats struct {
 	MemoHits int
 	// NativeCalls counts native (Go-implemented) operation evaluations.
 	NativeCalls int
+	// CompiledEvals counts outermost Normalize calls served by the
+	// compiled machine tier; InterpEvals counts the ones that fell back
+	// to the interpreter (memo, trace, outermost strategy, or ablation).
+	CompiledEvals int
+	InterpEvals   int
 }
 
 // Add returns the component-wise sum of two Stats (used by parallel
 // drivers to merge per-worker counters deterministically).
 func (s Stats) Add(o Stats) Stats {
 	return Stats{
-		Steps:       s.Steps + o.Steps,
-		RuleFires:   s.RuleFires + o.RuleFires,
-		MemoHits:    s.MemoHits + o.MemoHits,
-		NativeCalls: s.NativeCalls + o.NativeCalls,
+		Steps:         s.Steps + o.Steps,
+		RuleFires:     s.RuleFires + o.RuleFires,
+		MemoHits:      s.MemoHits + o.MemoHits,
+		NativeCalls:   s.NativeCalls + o.NativeCalls,
+		CompiledEvals: s.CompiledEvals + o.CompiledEvals,
+		InterpEvals:   s.InterpEvals + o.InterpEvals,
 	}
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("steps=%d rule-fires=%d memo-hits=%d native-calls=%d",
-		s.Steps, s.RuleFires, s.MemoHits, s.NativeCalls)
+	return fmt.Sprintf("steps=%d rule-fires=%d memo-hits=%d native-calls=%d compiled-evals=%d interp-evals=%d",
+		s.Steps, s.RuleFires, s.MemoHits, s.NativeCalls, s.CompiledEvals, s.InterpEvals)
 }
 
 // DefaultMemoLimit is the memo table's eviction bound: once the table
@@ -184,12 +191,19 @@ func WithNative(op string, f NativeFunc) Option {
 // benchmark.
 func WithoutRuleIndex() Option { return func(sys *System) { sys.noIndex = true } }
 
-// WithoutDiscTree disables the compiled matching automaton
-// (discrimination-tree dispatch and slot-indexed RHS templates), falling
-// back to per-rule subst.MatchBind over the head-symbol index. Exists for
-// the ablation benchmark and as the reference semantics in the
-// differential tests.
+// WithoutDiscTree disables both compiled matchers — the machine tier
+// and the discrimination-tree automaton with its slot-indexed RHS
+// templates — falling back to per-rule subst.MatchBind over the
+// head-symbol index. Exists for the ablation benchmark and as the
+// reference semantics in the differential tests.
 func WithoutDiscTree() Option { return func(sys *System) { sys.noDiscTree = true } }
+
+// WithoutCompiledTier disables the machine tier (flat match/build
+// programs over arena scratch terms), so evaluation runs on the
+// interpreter's discrimination-tree walk. Exists for the ablation
+// benchmark and as one half of the compiled-vs-interpreted differential
+// tests.
+func WithoutCompiledTier() Option { return func(sys *System) { sys.noCompiled = true } }
 
 // WithMemo enables memoization of normal forms for ground subterms. The
 // memo is keyed by hash-consed (pointer-canonical) terms from the
@@ -253,12 +267,15 @@ type program struct {
 	// ablation scans; precomputed once so the ablation measures indexing,
 	// not per-redex allocator pressure.
 	allRules []int
-	// tries is the compiled matching automaton: head symbol ->
+	// tries is the interpreter tier's matching automaton: head symbol ->
 	// discrimination tree over that symbol's rule group.
 	tries map[string]*trie
 	// tmpls holds one compiled RHS build template per rule, indexed like
 	// rules.
 	tmpls []template
+	// mach is the machine tier: flat register-addressed match programs
+	// and arena-targeted build programs (machine.go).
+	mach *machine
 }
 
 // System is a compiled rewrite system for one specification. A System is
@@ -272,6 +289,7 @@ type System struct {
 	maxSteps   int
 	noIndex    bool
 	noDiscTree bool
+	noCompiled bool
 	trace      func(TraceStep)
 
 	intern    *term.Interner
@@ -312,6 +330,22 @@ type System struct {
 	// value stack.
 	tm         trieMatcher
 	buildStack []*term.Term
+	// useCompiled, resolved by buildDispatch, routes the Eval seam: true
+	// selects the machine tier, false the interpreter. regStack is the
+	// machine's register stack — each rule fire carves a frame at regTop
+	// and bumps it for the build tree's evaluation, so nested matches run
+	// above the live captures (a ruled operation's children are even
+	// evaluated directly into its frame — applyRules); arena is the
+	// scratch-term allocator, reset at every outermost Canon boundary.
+	useCompiled bool
+	plainSpend  bool
+	regStack    []*term.Term
+	regTop      int
+	arena       *term.Arena
+	canonCache  *term.CanonCache
+	// dispID is the dense dispatch table indexed by the machine's symbol
+	// ids (scratch-node hints); entry 0 is the zero dispatch.
+	dispID []dispatch
 	// active and budget implement the per-call fuel limit: the budget is
 	// set when an outermost Normalize begins and left alone by the
 	// nested Normalize calls the conditional's lazy semantics makes
@@ -366,6 +400,7 @@ func New(sp *spec.Spec, opts ...Option) *System {
 		prog.allRules[i] = i
 	}
 	prog.tries, prog.tmpls = compileRules(prog.rules)
+	prog.mach = compileMachine(prog.rules)
 	sys.prog = prog
 	sys.buildDispatch()
 	return sys
@@ -375,12 +410,13 @@ func New(sp *spec.Spec, opts ...Option) *System {
 type dispatch struct {
 	native NativeFunc
 	tr     *trie
+	mp     *matchProg
 }
 
 func (s *System) buildDispatch() {
 	s.disp = make(map[string]dispatch, len(s.prog.tries)+len(s.native))
 	for sym, tr := range s.prog.tries {
-		s.disp[sym] = dispatch{tr: tr}
+		s.disp[sym] = dispatch{tr: tr, mp: s.prog.mach.progs[sym]}
 	}
 	for sym, nf := range s.native {
 		d := s.disp[sym]
@@ -388,6 +424,36 @@ func (s *System) buildDispatch() {
 		s.disp[sym] = d
 	}
 	s.gen = genCounter.Add(1)
+	s.plainSpend = s.stop == nil && s.fault == nil
+	// Tier selection: the machine serves the default configuration —
+	// innermost strategy, no memo, no trace, compiled matching enabled.
+	// Everything else (memoization wants interned intermediate results,
+	// tracing wants to see each step, outermost is a different strategy,
+	// the ablations exist to measure the interpreter) falls back to the
+	// interpreter tier behind the same Normalize seam.
+	s.useCompiled = !s.noCompiled && !s.noDiscTree && !s.noIndex &&
+		s.memo == nil && s.trace == nil && s.strategy == Innermost
+	if s.useCompiled {
+		if s.arena == nil {
+			s.arena = term.NewArena()
+		}
+		if s.canonCache == nil {
+			s.canonCache = term.NewCanonCache()
+		}
+		s.dispID = make([]dispatch, len(s.prog.mach.symID)+1)
+		for sym, id := range s.prog.mach.symID {
+			s.dispID[id] = s.disp[sym]
+		}
+	}
+}
+
+// Tier reports which evaluation tier this system's configuration
+// resolved to: "compiled" (the machine tier) or "interp".
+func (s *System) Tier() string {
+	if s.useCompiled {
+		return "compiled"
+	}
+	return "interp"
 }
 
 // genCounter allocates normal-form tokens; 0 is never issued, so the
@@ -408,6 +474,7 @@ func (s *System) Fork(opts ...Option) *System {
 		maxSteps:   s.maxSteps,
 		noIndex:    s.noIndex,
 		noDiscTree: s.noDiscTree,
+		noCompiled: s.noCompiled,
 		intern:     s.intern,
 		memoLimit:  s.memoLimit,
 	}
@@ -503,12 +570,43 @@ func (s *System) ResetSteps() { s.stats = Stats{} }
 // normalized symbolically: a redex whose arguments are not covered by any
 // rule is left in place. The fuel limit applies per call: a long-lived
 // System normalizes any number of terms, each with a fresh budget.
+//
+// Normalize is the Eval seam between the engine's tiers: every entry
+// point (NormalizeAll, the checkers, axtest's drivers, serve's
+// fork-per-request path) funnels through it, and the tier resolved at
+// construction — machine or interpreter — is chosen here. On the
+// machine tier the returned normal form is interned (Canon) and
+// stamped normal before the arena's scratch terms are recycled, so no
+// engine-private term ever escapes.
 func (s *System) Normalize(t *term.Term) (*term.Term, error) {
-	if !s.active {
-		s.active = true
-		s.budget = s.stats.Steps + s.maxSteps
-		defer func() { s.active = false }()
+	if s.active {
+		// Nested call (the interpreter's lazy-if path re-enters through
+		// Normalize): stay on the current budget and tier.
+		return s.evalInterp(t)
 	}
+	s.active = true
+	s.budget = s.stats.Steps + s.maxSteps
+	defer func() { s.active = false }()
+	if s.useCompiled {
+		s.stats.CompiledEvals++
+		nf, err := s.normalizeCompiled(t)
+		if err != nil {
+			// The error value may reference scratch terms (ErrFuel.Last);
+			// surrender the chunks instead of recycling them.
+			s.arena.Detach()
+			return nil, err
+		}
+		nf = s.intern.CanonBatch(nf, s.canonCache)
+		stampNormal(nf, s.gen)
+		s.arena.Reset()
+		return nf, nil
+	}
+	s.stats.InterpEvals++
+	return s.evalInterp(t)
+}
+
+// evalInterp dispatches to the interpreter tier's strategy.
+func (s *System) evalInterp(t *term.Term) (*term.Term, error) {
 	switch s.strategy {
 	case Outermost:
 		return s.normalizeOutermost(t)
@@ -526,8 +624,17 @@ func (s *System) MustNormalize(t *term.Term) *term.Term {
 	return out
 }
 
+// spend charges one reduction step. The fast path is branch-only and
+// inlineable: no stop flag, no fault injection, budget not exceeded.
 func (s *System) spend(last *term.Term) error {
 	s.stats.Steps++
+	if s.plainSpend && s.stats.Steps <= s.budget {
+		return nil
+	}
+	return s.spendSlow(last)
+}
+
+func (s *System) spendSlow(last *term.Term) error {
 	if s.stop != nil && s.stats.Steps&stopCheckMask == 0 && s.stop.Load() {
 		return fmt.Errorf("%w near %s", ErrCanceled, clip(last))
 	}

@@ -12,10 +12,12 @@ import "sync/atomic"
 // single-goroutine by contract, and per-step atomics would tax the hot
 // loop for every caller; only the cross-fork aggregation is atomic.)
 type StatsRecorder struct {
-	steps       atomic.Int64
-	ruleFires   atomic.Int64
-	memoHits    atomic.Int64
-	nativeCalls atomic.Int64
+	steps         atomic.Int64
+	ruleFires     atomic.Int64
+	memoHits      atomic.Int64
+	nativeCalls   atomic.Int64
+	compiledEvals atomic.Int64
+	interpEvals   atomic.Int64
 }
 
 // Record adds one fork's counters to the cumulative totals. It is safe
@@ -25,11 +27,13 @@ func (r *StatsRecorder) Record(s Stats) {
 	r.ruleFires.Add(int64(s.RuleFires))
 	r.memoHits.Add(int64(s.MemoHits))
 	r.nativeCalls.Add(int64(s.NativeCalls))
+	r.compiledEvals.Add(int64(s.CompiledEvals))
+	r.interpEvals.Add(int64(s.InterpEvals))
 }
 
 // Snapshot returns the cumulative totals recorded so far. Each counter
 // is read atomically; a Snapshot taken while Records are in flight sees
-// every fully-Recorded fork and never a torn counter. (The four fields
+// every fully-Recorded fork and never a torn counter. (The fields
 // are loaded independently, so a concurrent Record may be partially
 // visible across fields — totals per field are still exact once the
 // recording goroutines are done, which is what the reconciliation tests
@@ -40,5 +44,8 @@ func (r *StatsRecorder) Snapshot() Stats {
 		RuleFires:   int(r.ruleFires.Load()),
 		MemoHits:    int(r.memoHits.Load()),
 		NativeCalls: int(r.nativeCalls.Load()),
+
+		CompiledEvals: int(r.compiledEvals.Load()),
+		InterpEvals:   int(r.interpEvals.Load()),
 	}
 }

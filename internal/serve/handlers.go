@@ -386,5 +386,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.exposition(w, hits, misses, pHits, pMisses,
-		[4]int64{int64(st.Steps), int64(st.RuleFires), int64(st.MemoHits), int64(st.NativeCalls)}, interned)
+		[6]int64{int64(st.Steps), int64(st.RuleFires), int64(st.MemoHits), int64(st.NativeCalls),
+			int64(st.CompiledEvals), int64(st.InterpEvals)}, interned)
 }

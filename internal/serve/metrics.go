@@ -70,7 +70,7 @@ func (m *metrics) observe(endpoint string, code int, seconds float64) {
 // gauges and counters owned by other subsystems (cache, engine stats
 // recorder, interner) so this file stays free of their types. Output
 // order is deterministic (sorted label sets) to keep it diffable.
-func (m *metrics) exposition(w io.Writer, cacheHits, cacheMisses, parseHits, parseMisses int64, engine [4]int64, interned int64) {
+func (m *metrics) exposition(w io.Writer, cacheHits, cacheMisses, parseHits, parseMisses int64, engine [6]int64, interned int64) {
 	fmt.Fprintln(w, "# HELP adt_requests_total Requests served, by endpoint and HTTP status code.")
 	fmt.Fprintln(w, "# TYPE adt_requests_total counter")
 	m.mu.Lock()
@@ -110,6 +110,8 @@ func (m *metrics) exposition(w io.Writer, cacheHits, cacheMisses, parseHits, par
 		"adt_engine_rule_fires_total",
 		"adt_engine_memo_hits_total",
 		"adt_engine_native_calls_total",
+		"adt_engine_compiled_evals_total",
+		"adt_engine_interp_evals_total",
 	} {
 		fmt.Fprintf(w, "# HELP %s Cumulative engine work across all request forks.\n", name)
 		fmt.Fprintf(w, "# TYPE %s counter\n", name)

@@ -295,6 +295,11 @@ func TestE2EMethodsAndMetrics(t *testing.T) {
 		"adt_cache_misses_total 1",
 		"adt_engine_steps_total",
 		"adt_engine_rule_fires_total",
+		// The default serve configuration runs on the compiled tier, so
+		// the one normalize above must land there and nothing may fall
+		// back to the interpreter.
+		"adt_engine_compiled_evals_total 1",
+		"adt_engine_interp_evals_total 0",
 		"adt_interned_terms",
 		`adt_request_duration_seconds_count{endpoint="normalize"} 1`,
 		`adt_request_duration_seconds_bucket{endpoint="normalize",le="+Inf"} 1`,

@@ -26,6 +26,10 @@ type Interner struct {
 	mu      sync.RWMutex
 	buckets map[uint64][]*Term
 	n       int
+	// argChunk/argI bump-allocate argument vectors for CanonBatch
+	// (guarded by mu; the vectors are retained by canonical nodes).
+	argChunk []*Term
+	argI     int
 	// hashNode computes the bucket key of a prospective node whose
 	// arguments are already canonical. Overridable by tests to force
 	// bucket collisions (the regression test for the memo-collision bug);
@@ -62,10 +66,12 @@ func defaultNodeHash(k Kind, sym string, sort sig.Sort, args []*Term) uint64 {
 		}
 	}
 	for _, a := range args {
-		p := uintptr2u64(a)
-		for s := 0; s < 64; s += 8 {
-			h = (h ^ (p >> s & 0xff)) * prime64
-		}
+		// One multiplicative mix per (canonical, unique-per-structure)
+		// child pointer: cheaper than byte-at-a-time FNV and still
+		// well-distributed — collisions only degrade to the structural
+		// scan in lookup.
+		h = (h ^ uintptr2u64(a)) * prime64
+		h ^= h >> 32
 	}
 	return h
 }
@@ -219,6 +225,140 @@ func (in *Interner) Canon(t *Term) *Term {
 		args[i] = in.Canon(a)
 	}
 	return in.node(t.Kind, t.Sym, t.Sort, args, true)
+}
+
+// CanonBatch is Canon for a whole engine result at once. With a nil
+// cache it takes the interner's lock a single time and interns the
+// entire term under it, instead of paying a reader-lock
+// acquire/release (and, on every miss, a writer upgrade) per node. With
+// a CanonCache — private to one System, hence lock-free — repeat shapes
+// short-circuit before touching the interner at all: the rewrite
+// engine's compiled tier rebuilds largely the same normal-form spines
+// every call, and a cache hit replaces lock + hash + bucket probe with
+// one indexed load and a structural verify. Argument vectors for new
+// canonical nodes are bump-allocated from a shared chunk the interner
+// retains (it would retain the vectors individually regardless).
+func (in *Interner) CanonBatch(t *Term, cc *CanonCache) *Term {
+	if t == nil || t.owner == in {
+		return t
+	}
+	if cc != nil {
+		return in.canonCached(t, cc)
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.canonLocked(t)
+}
+
+// canonCacheSize is the entry count of a CanonCache (power of two).
+const canonCacheSize = 2048
+
+// CanonCache is a direct-mapped memo from node shape to canonical node,
+// owned by a single goroutine (one per System). Entries are verified
+// structurally on every hit, so a collision or stale slot can only cost
+// a probe, never correctness; canonical nodes are immortal, so a cached
+// pointer can never dangle.
+type CanonCache struct {
+	tab [canonCacheSize]*Term
+	// stack is the reusable canonical-argument scratch: each recursion
+	// level parks its children here, so the walk allocates nothing on
+	// the all-hits path (the buffer is retained and grows to the widest
+	// term seen).
+	stack []*Term
+}
+
+// NewCanonCache returns an empty cache.
+func NewCanonCache() *CanonCache { return &CanonCache{} }
+
+// cacheIndex hashes a node shape to a cache slot. It mixes the sym
+// string's data pointer rather than its bytes: the engine passes the
+// same string header for the same symbol on every rebuild, and a
+// different-header same-content collision merely misses into the
+// interner path.
+func cacheIndex(k Kind, sym string, sort sig.Sort, args []*Term) int {
+	const m = 0x9E3779B97F4A7C15
+	h := (uint64(uintptr(unsafe.Pointer(unsafe.StringData(sym)))) + uint64(k)) * m
+	for _, a := range args {
+		h = (h ^ uintptr2u64(a)) * m
+		h ^= h >> 29
+	}
+	_ = sort
+	return int(h>>32) & (canonCacheSize - 1)
+}
+
+// canonCached interns t bottom-up, consulting the cache per node and
+// falling back to the interner's own (locked) single-node path on miss.
+func (in *Interner) canonCached(t *Term, cc *CanonCache) *Term {
+	if t.owner == in {
+		return t
+	}
+	base := len(cc.stack)
+	for _, a := range t.Args {
+		if a.owner == in { // already canonical: skip the call
+			cc.stack = append(cc.stack, a)
+			continue
+		}
+		cc.stack = append(cc.stack, in.canonCached(a, cc))
+	}
+	args := cc.stack[base:]
+	idx := cacheIndex(t.Kind, t.Sym, t.Sort, args)
+	c := cc.tab[idx]
+	if c == nil || !nodeEq(c, t.Kind, t.Sym, t.Sort, args) {
+		// Miss: intern through the interner's own locked path (which
+		// copies args — the stack slice is reused) and remember the
+		// canonical node for next time.
+		c = in.node(t.Kind, t.Sym, t.Sort, args, false)
+		cc.tab[idx] = c
+	}
+	cc.stack = cc.stack[:base]
+	return c
+}
+
+func (in *Interner) canonLocked(t *Term) *Term {
+	if t.owner == in {
+		return t
+	}
+	var args []*Term
+	if n := len(t.Args); n > 0 {
+		args = in.argAlloc(n)
+		for i, a := range t.Args {
+			args[i] = in.canonLocked(a)
+		}
+	}
+	h := in.hashNode(t.Kind, t.Sym, t.Sort, args)
+	for _, c := range in.buckets[h] {
+		if nodeEq(c, t.Kind, t.Sym, t.Sort, args) {
+			return c
+		}
+	}
+	ground := t.Kind != Var
+	for _, a := range args {
+		if !a.ground {
+			ground = false
+			break
+		}
+	}
+	nt := &Term{Kind: t.Kind, Sym: t.Sym, Sort: t.Sort, Args: args, owner: in, ground: ground}
+	in.buckets[h] = append(in.buckets[h], nt)
+	in.n++
+	return nt
+}
+
+// argAlloc hands out an interner-owned argument vector from the current
+// chunk (lock held). Vectors are retained forever by the canonical
+// nodes they serve, so chunking just amortizes the allocations.
+func (in *Interner) argAlloc(n int) []*Term {
+	const chunk = 1024
+	if n > chunk {
+		return make([]*Term, n)
+	}
+	if len(in.argChunk)-in.argI < n {
+		in.argChunk = make([]*Term, chunk)
+		in.argI = 0
+	}
+	s := in.argChunk[in.argI : in.argI+n : in.argI+n]
+	in.argI += n
+	return s
 }
 
 // Size returns the number of canonical nodes interned so far.

@@ -74,13 +74,39 @@ type Term struct {
 	// ground caches IsGround for interned nodes (computed once at intern
 	// time from the canonical arguments).
 	ground bool
+	// scratch marks a node allocated from an Arena: engine-private,
+	// mutable by its owning engine, and never valid outside the
+	// normalization that built it. The rewrite engine must Canon a result
+	// before returning it; Scratch exposes the flag so tests (and the
+	// Canon boundary itself) can enforce that no scratch node escapes.
+	scratch bool
+	// hint is an opaque per-node cache for the engine that owns a scratch
+	// node (the rewrite machine stores a precomputed dispatch index here
+	// to skip a per-node map lookup). Zero means no hint; interned terms
+	// never carry one.
+	hint uint32
 	// nfTag is an advisory normal-form mark: a rewrite system stamps its
 	// generation token here once the term is known to be its own normal
 	// form under that system's (immutable) rule program. Accessed
 	// atomically because parallel workers share subterm spines; a stale
-	// or foreign token is merely a cache miss, never an error.
+	// or foreign token is merely a cache miss, never an error. Only
+	// interned terms are ever stamped: scratch nodes are recycled by
+	// Arena.Reset, so a tag on one would outlive the term it described.
 	nfTag uint32
 }
+
+// Hint reads the engine hint cached on a scratch node (see SetHint).
+func (t *Term) Hint() uint32 { return t.hint }
+
+// SetHint caches an opaque engine value on a scratch node. Only the
+// engine owning the node's Arena may call it; interned terms are shared
+// and must never be hinted.
+func (t *Term) SetHint(h uint32) { t.hint = h }
+
+// Scratch reports whether the node was allocated from an Arena and is
+// therefore engine-private (see Arena). Interned terms and terms built
+// with the New* constructors are never scratch.
+func (t *Term) Scratch() bool { return t.scratch }
 
 // NormalTag reads the advisory normal-form token (see MarkNormalTag).
 func (t *Term) NormalTag() uint32 { return atomic.LoadUint32(&t.nfTag) }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package algspec
+
+// raceEnabled mirrors the race build tag for tests whose thresholds
+// (allocation counts, timing) only hold without the detector's
+// instrumentation.
+const raceEnabled = false

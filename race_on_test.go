@@ -1,0 +1,5 @@
+//go:build race
+
+package algspec
+
+const raceEnabled = true

@@ -9,7 +9,9 @@ import (
 	"strings"
 	"testing"
 
+	"algspec/internal/core"
 	"algspec/internal/loadgen"
+	"algspec/internal/rewrite"
 )
 
 var update = flag.Bool("update", false, "rewrite specs/golden/*.golden from current engine output")
@@ -37,9 +39,41 @@ var localBatteries = map[string][]string{
 	},
 }
 
+// corpusFor renders the golden-file body for one spec under the given
+// engine options. The default (no options) is the compiled tier; the
+// conformance test renders the same battery under WithoutCompiledTier
+// as well and requires the two renderings to be byte-identical, so the
+// committed corpus pins both engines at once.
+func corpusFor(t *testing.T, env *core.Env, spec string, terms []string, opts ...rewrite.Option) string {
+	t.Helper()
+	sys, err := env.System(spec)
+	if err != nil {
+		t.Fatalf("%s: %v", spec, err)
+	}
+	if len(opts) > 0 {
+		sys = sys.Fork(opts...)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- Golden normal forms for %s.\n", spec)
+	fmt.Fprintf(&b, "-- Regenerate: go test ./specs -run Golden -update\n")
+	for _, src := range terms {
+		tm, err := env.ParseTerm(spec, src)
+		if err != nil {
+			t.Fatalf("%s: %q: %v", spec, src, err)
+		}
+		nf, err := sys.Normalize(tm)
+		if err != nil {
+			t.Fatalf("%s: %q: %v", spec, src, err)
+		}
+		fmt.Fprintf(&b, "\n%s\n  => %s\n", src, nf)
+	}
+	return b.String()
+}
+
 // TestGoldenConformance pins the normal form of a fixed term battery
 // over every shipped spec — library and local — byte-for-byte against
-// specs/golden/. A diff here means the rewrite engine's observable
+// specs/golden/, evaluated under both the compiled tier and the
+// interpreter. A diff here means the rewrite engine's observable
 // behaviour changed: either fix the regression or, if the change is
 // intended, regenerate with
 //
@@ -64,22 +98,18 @@ func TestGoldenConformance(t *testing.T) {
 	sort.Strings(specs)
 
 	for _, spec := range specs {
-		var b strings.Builder
-		fmt.Fprintf(&b, "-- Golden normal forms for %s.\n", spec)
-		fmt.Fprintf(&b, "-- Regenerate: go test ./specs -run Golden -update\n")
-		for _, src := range batteries[spec] {
-			nf, err := env.Eval(spec, src)
-			if err != nil {
-				t.Fatalf("%s: %q: %v", spec, src, err)
-			}
-			fmt.Fprintf(&b, "\n%s\n  => %s\n", src, nf)
+		got := corpusFor(t, env, spec, batteries[spec])
+		interp := corpusFor(t, env, spec, batteries[spec], rewrite.WithoutCompiledTier())
+		if got != interp {
+			t.Errorf("%s: compiled and interpreter tiers disagree on the golden battery:\n--- compiled ---\n%s--- interp ---\n%s",
+				spec, got, interp)
 		}
 		path := filepath.Join("golden", strings.ToLower(spec)+".golden")
 		if *update {
 			if err := os.MkdirAll("golden", 0o755); err != nil {
 				t.Fatal(err)
 			}
-			if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
 				t.Fatal(err)
 			}
 			continue
@@ -88,9 +118,9 @@ func TestGoldenConformance(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v (run with -update to generate the corpus)", spec, err)
 		}
-		if string(want) != b.String() {
+		if string(want) != got {
 			t.Errorf("%s: engine output drifted from %s:\n--- want ---\n%s--- got ---\n%s",
-				spec, path, want, b.String())
+				spec, path, want, got)
 		}
 	}
 
