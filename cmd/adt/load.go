@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"time"
 
+	"algspec/internal/cluster"
 	"algspec/internal/faultinject"
 	"algspec/internal/loadgen"
 	"algspec/internal/serve"
@@ -29,6 +30,8 @@ func cmdLoad(args []string, out io.Writer) error {
 	retries := fs.Int("retries", 3, "retry budget per request for 503/504/transport errors")
 	srvWorkers := fs.Int("server-workers", 0, "server pool size (0 = GOMAXPROCS)")
 	srvTimeout := fs.Duration("server-timeout", 2*time.Second, "server per-request deadline")
+	srvCache := fs.Int("server-cache", 0, "per-server normal-form cache entries (0 = default, negative = disabled)")
+	replicas := fs.Int("replicas", 0, "boot a consistent-hash cluster of N replicas behind a router and load against it (0 = single server)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,13 +59,35 @@ func cmdLoad(args []string, out io.Writer) error {
 		return err
 	}
 
-	srv, err := serve.New(serve.Config{Workers: *srvWorkers, Timeout: *srvTimeout})
-	if err != nil {
-		return err
+	if *replicas < 0 {
+		return fmt.Errorf("load: -replicas must be >= 0 (got %d)", *replicas)
 	}
-	defer srv.Close()
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
+	scfg := serve.Config{Workers: *srvWorkers, Timeout: *srvTimeout, CacheSize: *srvCache}
+
+	// Single-server mode (the historic path) loads one in-process serve
+	// instance directly; -replicas N puts a consistent-hash router over N
+	// replicas and loads through it, adding a second reconciliation level
+	// at the shard boundary.
+	var baseURL string
+	var cl *cluster.Local
+	if *replicas > 0 {
+		cl, err = cluster.StartLocal(*replicas, scfg, cluster.Config{})
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		baseURL = cl.URL()
+		fmt.Fprintf(out, "adt load: cluster of %d replica(s) behind router %s\n", *replicas, baseURL)
+	} else {
+		srv, err := serve.New(scfg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		baseURL = ts.URL
+	}
 
 	if len(plan) > 0 {
 		if err := faultinject.Arm(plan); err != nil {
@@ -72,9 +97,9 @@ func cmdLoad(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "adt load: %d fault point(s) armed\n", len(plan))
 	}
 
-	fmt.Fprintf(out, "adt load: %d request(s) at %d rps against %s\n", total, *rps, ts.URL)
+	fmt.Fprintf(out, "adt load: %d request(s) at %d rps against %s\n", total, *rps, baseURL)
 	rep, err := loadgen.Run(loadgen.Config{
-		BaseURL:     ts.URL,
+		BaseURL:     baseURL,
 		Seed:        *seed,
 		Requests:    total,
 		RPS:         *rps,
@@ -89,7 +114,26 @@ func cmdLoad(args []string, out io.Writer) error {
 	}
 	fmt.Fprint(out, rep.String())
 	fmt.Fprint(out, rep.LatencySummary())
-	if !rep.OK(len(plan) > 0) {
+	clusterOK := true
+	if cl != nil {
+		stats, problems, err := cl.Reconcile()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "cluster:")
+		for _, st := range stats {
+			fmt.Fprintf(out, "  shard %d: forwarded %d, replica served %d, cache %d hit(s) / %d miss(es)\n",
+				st.Shard, st.Forwarded, st.Served, st.CacheHits, st.CacheMisses)
+		}
+		if len(problems) == 0 {
+			fmt.Fprintln(out, "  shard reconciliation: exact across all replicas")
+		}
+		for _, p := range problems {
+			clusterOK = false
+			fmt.Fprintf(out, "  RECONCILE: %s\n", p)
+		}
+	}
+	if !rep.OK(len(plan) > 0) || !clusterOK {
 		return fmt.Errorf("load run failed (see report above)")
 	}
 	return nil

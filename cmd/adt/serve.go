@@ -33,6 +33,9 @@ func cmdServe(args []string, out io.Writer) error {
 	fuel := fs.Int("fuel", 0, "per-request reduction budget and cap on client budgets (0 = engine default)")
 	cacheSize := fs.Int("cache", 0, "shared normal-form cache entries (0 = default, negative = disabled)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request wall-clock deadline (0 = none)")
+	persist := fs.String("persist", "", "durability directory: uploaded specs and the normal-form cache survive restarts (empty = off)")
+	snapEvery := fs.Duration("snapshot-every", 0, "background snapshot period for the persisted cache (0 = default 30s)")
+	warm := fs.Bool("warm", false, "pre-normalize the golden-conformance battery into the cache at boot")
 	files, err := parseInterleaved(fs, args)
 	if err != nil {
 		return err
@@ -55,10 +58,13 @@ func cmdServe(args []string, out io.Writer) error {
 		extras[i] = string(src)
 	}
 	srv, err := serve.New(serve.Config{
-		Workers:   *workers,
-		Fuel:      *fuel,
-		CacheSize: *cacheSize,
-		Timeout:   *timeout,
+		Workers:       *workers,
+		Fuel:          *fuel,
+		CacheSize:     *cacheSize,
+		Timeout:       *timeout,
+		PersistDir:    *persist,
+		SnapshotEvery: *snapEvery,
+		Warm:          *warm,
 	}, extras...)
 	if err != nil {
 		return err
@@ -69,7 +75,7 @@ func cmdServe(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "adt serve: listening on http://%s (POST /v1/normalize, POST /v1/check, GET /v1/specs, GET /metrics)\n", ln.Addr())
+	fmt.Fprintf(out, "adt serve: listening on http://%s (POST /v1/normalize, POST /v1/specs, POST /v1/check, GET /v1/specs, GET /metrics, GET /healthz)\n", ln.Addr())
 	if serveReady != nil {
 		serveReady <- ln.Addr().String()
 	}

@@ -8,23 +8,42 @@ import (
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"algspec/internal/cluster"
 	"algspec/internal/serve"
 )
 
 // serveBenchExport measures the HTTP normalization path of `adt serve`
 // cold (cache disabled: parse, canon, pool round trip, full rewrite)
-// and warm (same request answered from the shared caches) and writes
-// the two rows as JSON. The warm/cold ratio is the server's headline
-// claim — a cache hit must be at least serveWarmFactor times faster —
-// so the export fails, and CI with it, when the ratio decays.
-const serveWarmFactor = 5
+// and warm (same request answered from the shared caches), then the
+// cluster scale-out rows: aggregate throughput of the consistent-hash
+// cluster at 1 and 3 replicas over a working set larger than any single
+// replica's cache. The warm/cold ratio is the server's headline claim —
+// a cache hit must be at least serveWarmFactor times faster — and the
+// 3-vs-1 replica ratio is the cluster's: partitioning the keyspace must
+// buy at least clusterScaleFactor aggregate RPS. Either decaying fails
+// the export, and CI with it.
+const (
+	serveWarmFactor    = 5
+	clusterScaleFactor = 2
+)
 
 func serveBenchExport(out io.Writer, path string) error {
 	cold := measure("serve_normalize_cold", benchServeNormalize(-1, false))
 	warm := measure("serve_normalize_warm", benchServeNormalize(serve.DefaultCacheSize, true))
-	rows := []benchRow{cold, warm}
+	rps1, err := measureClusterRPS(1)
+	if err != nil {
+		return err
+	}
+	rps3, err := measureClusterRPS(3)
+	if err != nil {
+		return err
+	}
+	rows := []benchRow{cold, warm, rps1, rps3}
 	data, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		return err
@@ -34,12 +53,140 @@ func serveBenchExport(out io.Writer, path string) error {
 		return err
 	}
 	ratio := cold.NsPerOp / warm.NsPerOp
-	fmt.Fprintf(out, "wrote %d benchmark rows to %s (cold %.0f ns/op, warm %.0f ns/op, %.1fx)\n",
-		len(rows), path, cold.NsPerOp, warm.NsPerOp, ratio)
+	scale := rps1.NsPerOp / rps3.NsPerOp
+	fmt.Fprintf(out, "wrote %d benchmark rows to %s (cold %.0f ns/op, warm %.0f ns/op, %.1fx; cluster %.0f -> %.0f rps, %.1fx)\n",
+		len(rows), path, cold.NsPerOp, warm.NsPerOp, ratio, 1e9/rps1.NsPerOp, 1e9/rps3.NsPerOp, scale)
 	if ratio < serveWarmFactor {
 		return fmt.Errorf("warm cache is only %.1fx faster than cold, want >= %dx", ratio, serveWarmFactor)
 	}
+	if scale < clusterScaleFactor {
+		return fmt.Errorf("3 replicas sustain only %.1fx the aggregate RPS of 1, want >= %dx", scale, clusterScaleFactor)
+	}
 	return nil
+}
+
+// Cluster benchmark shape: the working set is clusterTerms heavy E1
+// queue terms (~525µs cold, ~30µs warm each), each replica's cache
+// holds clusterCache entries, and clusterServerWorkers normalization
+// workers are split across the replicas so total compute is constant —
+// the only thing 3 replicas add over 1 is partitioned cache capacity.
+// One replica can hold at most 2/3 of the set and LRU-thrashes under
+// the round-robin scan; three replicas each own a third of the keyspace
+// and serve nearly every request from cache. That is the scale-out
+// claim in miniature: aggregate cache memory grows with N because no
+// entry is duplicated.
+const (
+	clusterTerms         = 320
+	clusterCache         = 224
+	clusterServerWorkers = 6
+	clusterClientWorkers = 8
+	clusterPasses        = 4
+)
+
+// clusterWorkingSet builds n distinct heavy queue terms: every add
+// draws its item from a 2-bit chunk of the seed (folded with the
+// position), so any two seeds below 2^10 differ in at least one pushed
+// item — n genuinely distinct cache keys, each costing a full E1-scale
+// normalization cold.
+func clusterWorkingSet(n int) []string {
+	items := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	terms := make([]string, n)
+	for seed := 0; seed < n; seed++ {
+		state := "new"
+		size := 0
+		for i := 0; i < 64; i++ {
+			if size > 0 && i%3 == 0 {
+				state = "remove(" + state + ")"
+				size--
+			} else {
+				idx := (int(seed>>(2*(i%5)))&3 + i) % len(items)
+				state = fmt.Sprintf("add(%s, '%s)", state, items[idx])
+				size++
+			}
+		}
+		terms[seed] = "front(" + state + ")"
+	}
+	return terms
+}
+
+// measureClusterRPS boots an in-process cluster of n replicas behind
+// the consistent-hash router and drives the working set round-robin
+// through it: one warmup pass, then clusterPasses measured passes from
+// clusterClientWorkers concurrent clients. The row's ns/op is wall
+// clock over requests — aggregate throughput, not per-shard latency.
+func measureClusterRPS(n int) (benchRow, error) {
+	workers := clusterServerWorkers / n
+	if workers < 1 {
+		workers = 1
+	}
+	cl, err := cluster.StartLocal(n,
+		serve.Config{Workers: workers, CacheSize: clusterCache},
+		cluster.Config{HealthEvery: -1})
+	if err != nil {
+		return benchRow{}, err
+	}
+	defer cl.Close()
+
+	terms := clusterWorkingSet(clusterTerms)
+	bodies := make([]string, len(terms))
+	for i, t := range terms {
+		tj, err := json.Marshal(t)
+		if err != nil {
+			return benchRow{}, err
+		}
+		bodies[i] = `{"spec":"Queue","term":` + string(tj) + `}`
+	}
+	client := &http.Client{}
+	drive := func(requests int) error {
+		var wg sync.WaitGroup
+		errs := make(chan error, clusterClientWorkers)
+		var next atomic.Int64
+		for w := 0; w < clusterClientWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= requests {
+						return
+					}
+					resp, err := client.Post(cl.URL()+"/v1/normalize", "application/json",
+						strings.NewReader(bodies[i%len(bodies)]))
+					if err != nil {
+						errs <- err
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("cluster bench: status %d", resp.StatusCode)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case err := <-errs:
+			return err
+		default:
+			return nil
+		}
+	}
+	if err := drive(len(bodies)); err != nil { // warmup pass
+		return benchRow{}, err
+	}
+	requests := clusterPasses * len(bodies)
+	start := time.Now()
+	if err := drive(requests); err != nil {
+		return benchRow{}, err
+	}
+	elapsed := time.Since(start)
+	return benchRow{
+		Name:       fmt.Sprintf("cluster_rps_%d", n),
+		Iterations: requests,
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(requests),
+	}, nil
 }
 
 // e1QueueServeTerm is the E1 benchmark workload (64 interleaved Queue

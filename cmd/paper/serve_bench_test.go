@@ -8,9 +8,10 @@ import (
 	"testing"
 )
 
-// TestServeBenchExport runs the -serve-bench-out path end to end: two
-// rows land in the file and the warm row beats cold by the exported
-// factor (the export itself fails below serveWarmFactor).
+// TestServeBenchExport runs the -serve-bench-out path end to end: four
+// rows land in the file, the warm row beats cold by the exported factor
+// and the 3-replica cluster row beats the 1-replica row by the
+// scale-out factor (the export itself fails below either gate).
 func TestServeBenchExport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("benchmark export is slow; skipped with -short")
@@ -29,15 +30,22 @@ func TestServeBenchExport(t *testing.T) {
 	if err := json.Unmarshal(data, &rows); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, data)
 	}
-	if len(rows) != 2 || rows[0].Name != "serve_normalize_cold" || rows[1].Name != "serve_normalize_warm" {
+	want := []string{"serve_normalize_cold", "serve_normalize_warm", "cluster_rps_1", "cluster_rps_3"}
+	if len(rows) != len(want) {
 		t.Fatalf("rows = %+v", rows)
 	}
-	for _, r := range rows {
+	for i, r := range rows {
+		if r.Name != want[i] {
+			t.Fatalf("row %d named %q, want %q", i, r.Name, want[i])
+		}
 		if r.Iterations <= 0 || r.NsPerOp <= 0 {
 			t.Errorf("row %q has empty measurements: %+v", r.Name, r)
 		}
 	}
 	if ratio := rows[0].NsPerOp / rows[1].NsPerOp; ratio < serveWarmFactor {
 		t.Errorf("warm only %.1fx faster than cold, want >= %dx", ratio, serveWarmFactor)
+	}
+	if scale := rows[2].NsPerOp / rows[3].NsPerOp; scale < clusterScaleFactor {
+		t.Errorf("3 replicas only %.1fx the RPS of 1, want >= %dx", scale, clusterScaleFactor)
 	}
 }

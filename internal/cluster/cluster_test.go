@@ -1,0 +1,194 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"algspec/internal/cluster"
+	"algspec/internal/serve"
+)
+
+func startCluster(t *testing.T, n int, scfg serve.Config) *cluster.Local {
+	t.Helper()
+	cl, err := cluster.StartLocal(n, scfg, cluster.Config{HealthEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func normBody(spec, term, version string) string {
+	m := map[string]string{"spec": spec, "term": term}
+	if version != "" {
+		m["version"] = version
+	}
+	b, _ := json.Marshal(m)
+	return string(b)
+}
+
+// TestRoutingDeterminism: a term's shard is a pure function of
+// (version, canonical term), so repeating the same request must land on
+// the same replica every time — after N identical requests exactly one
+// shard has forwarded traffic, and after the first request every repeat
+// is a cache hit on that shard.
+func TestRoutingDeterminism(t *testing.T) {
+	cl := startCluster(t, 3, serve.Config{Workers: 1})
+	body := normBody("Queue", "front(add(add(new, 'a), 'b))", "")
+	const reps = 8
+	for i := 0; i < reps; i++ {
+		code, resp := post(t, cl.URL()+"/v1/normalize", body)
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, code, resp)
+		}
+		if wantCached := i > 0; strings.Contains(resp, `"cached": true`) != wantCached {
+			t.Fatalf("request %d: cached should be %v: %s", i, wantCached, resp)
+		}
+	}
+	stats, problems, err := cl.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) > 0 {
+		t.Fatalf("reconciliation problems: %v", problems)
+	}
+	busy := 0
+	for _, st := range stats {
+		if st.Forwarded > 0 {
+			busy++
+			if st.Forwarded != reps {
+				t.Fatalf("owning shard %d saw %d of %d requests", st.Shard, st.Forwarded, reps)
+			}
+		}
+	}
+	if busy != 1 {
+		t.Fatalf("identical requests spread over %d shards, want exactly 1: %+v", busy, stats)
+	}
+}
+
+// TestRoutingSpreads: distinct terms must not all pile onto one shard.
+func TestRoutingSpreads(t *testing.T) {
+	cl := startCluster(t, 3, serve.Config{Workers: 1})
+	items := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for _, x := range items {
+		for _, y := range items {
+			term := fmt.Sprintf("front(add(add(new, '%s), '%s))", x, y)
+			if code, resp := post(t, cl.URL()+"/v1/normalize", normBody("Queue", term, "")); code != http.StatusOK {
+				t.Fatalf("status %d: %s", code, resp)
+			}
+		}
+	}
+	stats, problems, err := cl.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) > 0 {
+		t.Fatalf("reconciliation problems: %v", problems)
+	}
+	for _, st := range stats {
+		if st.Forwarded == 0 {
+			t.Fatalf("shard %d received none of 64 distinct terms: %+v", st.Shard, stats)
+		}
+	}
+}
+
+const toggleSrc = "spec Toggle\n  uses Bool\n  ops\n    off : -> Toggle\n    on : Toggle -> Toggle\n    lit? : Toggle -> Bool\n  vars t : Toggle\n  axioms\n    [l1] lit?(off) = false\n    [l2] lit?(on(t)) = true\nend\n"
+
+// TestUploadBroadcast: an upload through the router must reach every
+// replica, so a version-pinned normalize resolves no matter which shard
+// the term hashes to.
+func TestUploadBroadcast(t *testing.T) {
+	cl := startCluster(t, 3, serve.Config{Workers: 1})
+	src, _ := json.Marshal(toggleSrc)
+	code, resp := post(t, cl.URL()+"/v1/specs", `{"source":`+string(src)+`}`)
+	if code != http.StatusCreated {
+		t.Fatalf("upload: status %d: %s", code, resp)
+	}
+	var up serve.SpecUploadResponse
+	if err := json.Unmarshal([]byte(resp), &up); err != nil {
+		t.Fatal(err)
+	}
+	// Distinct terms fan out across shards; each must resolve the
+	// uploaded version on whichever replica answers.
+	terms := []string{"lit?(off)", "lit?(on(off))", "lit?(on(on(off)))", "lit?(on(on(on(off))))"}
+	for _, term := range terms {
+		code, resp := post(t, cl.URL()+"/v1/normalize", normBody("Toggle", term, up.Version))
+		if code != http.StatusOK {
+			t.Fatalf("normalize %s@%s: status %d: %s", term, up.Version, code, resp)
+		}
+		if !strings.Contains(resp, `"version": "`+up.Version+`"`) {
+			t.Fatalf("response does not echo the pinned version: %s", resp)
+		}
+	}
+	// Re-uploading the identical source is idempotent: same address,
+	// 200 not 201.
+	code, resp = post(t, cl.URL()+"/v1/specs", `{"source":`+string(src)+`}`)
+	if code != http.StatusOK || !strings.Contains(resp, up.Version) {
+		t.Fatalf("re-upload: status %d: %s", code, resp)
+	}
+}
+
+// TestFailover: killing a replica must not fail requests — the router
+// marks the shard unhealthy on the transport error and retries down the
+// key's preference list onto a surviving replica, which can always
+// compute the answer from its full spec registry.
+func TestFailover(t *testing.T) {
+	cl := startCluster(t, 3, serve.Config{Workers: 1})
+	items := []string{"a", "b", "c", "d", "e", "f"}
+	terms := make([]string, 0, len(items)*len(items))
+	for _, x := range items {
+		for _, y := range items {
+			terms = append(terms, fmt.Sprintf("front(add(add(new, '%s), '%s))", x, y))
+		}
+	}
+	for _, term := range terms {
+		if code, resp := post(t, cl.URL()+"/v1/normalize", normBody("Queue", term, "")); code != http.StatusOK {
+			t.Fatalf("pre-kill %s: status %d: %s", term, code, resp)
+		}
+	}
+
+	cl.ReplicaSrvs[1].Close() // shard 1 is now unreachable
+
+	for _, term := range terms {
+		code, resp := post(t, cl.URL()+"/v1/normalize", normBody("Queue", term, ""))
+		if code != http.StatusOK {
+			t.Fatalf("post-kill %s: status %d: %s", term, code, resp)
+		}
+	}
+	// The dead shard's traffic had to land somewhere else, which the
+	// router's books must show: forward errors against shard 1 and
+	// retries spent walking the preference list. (Reconcile is useless
+	// here — the dead replica's /metrics is gone with it.)
+	resp, err := http.Get(cl.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(page)
+	if strings.Contains(metrics, `adt_router_forward_errors_total{shard="1"} 0`) ||
+		!strings.Contains(metrics, `adt_router_forward_errors_total{shard="1"}`) {
+		t.Fatalf("replica 1 killed but no forward errors recorded against it:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, `adt_router_replica_healthy{shard="1"} 0`) {
+		t.Fatalf("dead replica 1 still marked healthy:\n%s", metrics)
+	}
+}

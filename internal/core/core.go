@@ -176,6 +176,23 @@ func (e *Env) ParseTerm(specName, src string) (*term.Term, error) {
 	return sema.CheckGroundExpr(sp, expr, "")
 }
 
+// ParseTermAs parses and sort-checks a ground term against the named
+// specification with an expected root sort. The sort disambiguates bare
+// atom literals and error values, which is what lets persisted
+// normal-form text (whose root sort was recorded at write time) be
+// parsed back into a term at boot.
+func (e *Env) ParseTermAs(specName, src string, expected sig.Sort) (*term.Term, error) {
+	sp, ok := e.specs[specName]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown specification %s", specName)
+	}
+	expr, err := lang.ParseExpr(src)
+	if err != nil {
+		return nil, err
+	}
+	return sema.CheckGroundExpr(sp, expr, expected)
+}
+
 // ParseTermWithVars parses and sort-checks a term that may mention the
 // given variables (name -> sort).
 func (e *Env) ParseTermWithVars(specName, src string, vars map[string]sig.Sort) (*term.Term, error) {

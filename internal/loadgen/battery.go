@@ -1,162 +1,16 @@
 package loadgen
 
-import "sort"
+import "algspec/internal/corpus"
 
-// batteries is the fixed term battery: for every shipped library spec,
-// a hand-picked set of ground terms exercising its observers, its error
-// cases and at least one term that normalizes through a conditional.
-// The battery is deliberately frozen — it is the domain the seeded
-// workload generator draws from (so a seed names an exact request
-// sequence) and the corpus the golden conformance files under
-// specs/golden/ pin byte-for-byte. Extend it freely (and regenerate the
-// goldens with `go test ./specs -run Golden -update`), but never let
-// its content depend on anything but this source file.
-var batteries = map[string][]string{
-	"Bool": {
-		"not(true)",
-		"not(not(false))",
-		"and(true, false)",
-		"and(or(true, false), not(false))",
-		"or(false, false)",
-	},
-	"Nat": {
-		"addN(succ(zero), succ(succ(zero)))",
-		"addN(zero, zero)",
-		"eqN(succ(zero), succ(zero))",
-		"eqN(succ(zero), zero)",
-		"ltN(zero, succ(zero))",
-		"ltN(succ(succ(zero)), succ(zero))",
-		"pred(succ(succ(zero)))",
-		"pred(zero)",
-	},
-	"Identifier": {
-		"same?('a, 'a)",
-		"same?('a, 'b)",
-	},
-	"Attrs": {
-		"'attr",
-	},
-	"Elem": {
-		"sameElem?('x, 'x)",
-		"sameElem?('x, 'y)",
-	},
-	"Queue": {
-		"isEmpty?(new)",
-		"isEmpty?(add(new, 'a))",
-		"front(add(add(new, 'a), 'b))",
-		"front(remove(add(add(add(new, 'a), 'b), 'c)))",
-		"remove(add(add(new, 'a), 'b))",
-		"front(new)",
-		"remove(new)",
-	},
-	"BoundedQueue": {
-		"isEmptyQ?(emptyq)",
-		"sizeq(addq(addq(emptyq, 'a), 'b))",
-		"frontq(addq(addq(emptyq, 'a), 'b))",
-		"isFullQ?(addq(addq(addq(emptyq, 'a), 'b), 'c))",
-		"sizeq(addq(addq(addq(addq(emptyq, 'a), 'b), 'c), 'd))",
-		"removeq(addq(addq(emptyq, 'a), 'b))",
-		"frontq(emptyq)",
-	},
-	"Symboltable": {
-		"retrieve(add(init, 'i, 'a), 'i)",
-		"retrieve(add(add(init, 'i, 'a), 'j, 'b), 'i)",
-		"isInblock?(add(init, 'i, 'a), 'j)",
-		"isInblock?(enterblock(add(init, 'i, 'a)), 'i)",
-		"retrieve(enterblock(add(init, 'i, 'a)), 'i)",
-		"retrieve(leaveblock(enterblock(add(init, 'i, 'a))), 'i)",
-		"leaveblock(init)",
-	},
-	"Array": {
-		"read(assign(empty, 'i, 'a), 'i)",
-		"read(assign(assign(empty, 'i, 'a), 'i, 'b), 'i)",
-		"read(assign(assign(empty, 'i, 'a), 'j, 'b), 'i)",
-		"isUndefined?(assign(empty, 'i, 'a), 'j)",
-		"read(empty, 'i)",
-	},
-	"Stack": {
-		"isNewstack?(newstack)",
-		"top(push(newstack, empty))",
-		"top(replace(push(newstack, empty), assign(empty, 'i, 'a)))",
-		"isNewstack?(pop(push(newstack, empty)))",
-		"top(newstack)",
-		"pop(newstack)",
-	},
-	"SymtabImpl": {
-		"retrieve'(add'(init', 'i, 'a), 'i)",
-		"isInblock'?(enterblock'(add'(init', 'i, 'a)), 'i)",
-		"retrieve'(enterblock'(add'(init', 'i, 'a)), 'i)",
-		"leaveblock'(enterblock'(init'))",
-	},
-	"SymList": {
-		"mark(bind(nilst, 'i, 'a))",
-		"bind(mark(nilst), 'i, 'a)",
-	},
-	"ListSymtabImpl": {
-		"retrieve2(add2(init2, 'i, 'a), 'i)",
-		"leaveblock2(enterblock2(add2(init2, 'i, 'a)))",
-		"isInblock2?(enterblock2(add2(init2, 'i, 'a)), 'i)",
-		"dropTo(bind(mark(nilst), 'i, 'a))",
-		"leaveblock2(init2)",
-	},
-	"Knowlist": {
-		"isIn?(create, 'i)",
-		"isIn?(append(create, 'i), 'i)",
-		"isIn?(append(append(create, 'i), 'j), 'i)",
-	},
-	"SymboltableKnows": {
-		"retrieve(enterblock(add(init, 'i, 'a), append(create, 'i)), 'i)",
-		"retrieve(enterblock(add(init, 'i, 'a), create), 'i)",
-		"isInblock?(add(init, 'i, 'a), 'i)",
-		"leaveblock(enterblock(init, create))",
-	},
-	"Set": {
-		"isMember?(insert(insert(emptyset, 'a), 'b), 'a)",
-		"isMember?(emptyset, 'a)",
-		"card(insert(insert(emptyset, 'a), 'a))",
-		"card(delete(insert(insert(emptyset, 'a), 'b), 'a))",
-		"isEmptySet?(emptyset)",
-	},
-	"List": {
-		"head(cons('a, nil))",
-		"lengthL(appendL(cons('a, nil), cons('b, nil)))",
-		"reverseL(cons('a, cons('b, cons('c, nil))))",
-		"memberL?(cons('a, cons('b, nil)), 'b)",
-		"tail(nil)",
-	},
-	"Bag": {
-		"countb(insertb(insertb(emptybag, 'a), 'a), 'a)",
-		"countb(emptybag, 'a)",
-		"memberB?(insertb(emptybag, 'a), 'b)",
-		"sizeb(deleteb(insertb(insertb(emptybag, 'a), 'b), 'a))",
-	},
-	"BST": {
-		"memberT?(insertT(insertT(insertT(emptyt, succ(zero)), zero), succ(succ(zero))), zero)",
-		"memberT?(insertT(emptyt, zero), succ(zero))",
-		"minT(insertT(insertT(emptyt, succ(zero)), zero))",
-		"sizeT(insertT(insertT(emptyt, zero), succ(zero)))",
-		"isEmptyT?(emptyt)",
-		"minT(emptyt)",
-	},
-	"Map": {
-		"get(put(put(emptymap, 'k, 'v), 'k, 'w), 'k)",
-		"get(put(emptymap, 'k, 'v), 'j)",
-		"hasKey?(removeKey(put(emptymap, 'k, 'v), 'k), 'k)",
-		"sizeM(put(put(emptymap, 'k, 'v), 'k, 'w))",
-	},
-}
+// The fixed term battery lives in internal/corpus (the serve cache
+// warmer reads it too, and serve cannot import loadgen); these
+// forwarders keep the loadgen API the generator and the golden tests
+// were written against.
 
 // Battery returns the fixed term battery for a shipped spec (nil when
 // the spec has none). Callers must not mutate the returned slice.
-func Battery(spec string) []string { return batteries[spec] }
+func Battery(spec string) []string { return corpus.Battery(spec) }
 
 // BatterySpecs lists the specs that have a battery, sorted, so every
 // traversal of the corpus is deterministic.
-func BatterySpecs() []string {
-	out := make([]string, 0, len(batteries))
-	for name := range batteries {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
-}
+func BatterySpecs() []string { return corpus.BatterySpecs() }

@@ -74,8 +74,18 @@ func Run(cfg Config) (*Report, error) {
 	reqs := gen.Sequence(cfg.Requests)
 
 	r := &runner{
-		cfg:      cfg,
-		client:   &http.Client{Timeout: cfg.Timeout},
+		cfg: cfg,
+		// The default transport idles only 2 connections per host; with
+		// more workers than that, every third request redials and the
+		// dial swamps a warm-cache response. Idle as many as we run.
+		client: &http.Client{
+			Timeout: cfg.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Workers * 2,
+				MaxIdleConnsPerHost: cfg.Workers * 2,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
 		attempts: make(map[string]int64),
 	}
 

@@ -169,8 +169,8 @@ func (g *Generator) Sequence(n int) []Request {
 		case w < g.mix.Normalize:
 			req.Kind = KindNormalize
 			req.Spec = g.specs[g.rng.Intn(len(g.specs))]
-			ti := g.rng.Intn(len(batteries[req.Spec]))
-			req.Term = batteries[req.Spec][ti]
+			ti := g.rng.Intn(len(Battery(req.Spec)))
+			req.Term = Battery(req.Spec)[ti]
 			req.WantNF = g.oracle[req.Spec][ti]
 		case w < g.mix.Normalize+g.mix.Check:
 			req.Kind = KindCheck

@@ -1,0 +1,47 @@
+package serve_test
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"algspec/internal/serve"
+)
+
+// TestServeWarmAllocBudget is the allocation-regression gate for the
+// HTTP warm path: an /v1/normalize cache hit must stay within the
+// checked-in allocs/op budget in testdata/serve_alloc_budget. The warm
+// path pools its JSON encode buffers and response structs, so what
+// remains is mostly the request side (httptest plumbing, JSON decode of
+// the request body) plus the cache probe. The budget carries headroom
+// over the measured steady state; tripping this gate means a handler
+// change started allocating per hit again. Tighten the budget when the
+// steady state improves; loosening it is the regression this test
+// exists to catch.
+func TestServeWarmAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts shift under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("benchmark-backed gate skipped in -short mode")
+	}
+	raw, err := os.ReadFile("testdata/serve_alloc_budget")
+	if err != nil {
+		t.Fatalf("read alloc budget: %v", err)
+	}
+	budget, err := strconv.Atoi(strings.TrimSpace(string(raw)))
+	if err != nil {
+		t.Fatalf("parse alloc budget %q: %v", raw, err)
+	}
+
+	res := testing.Benchmark(func(b *testing.B) {
+		benchNormalize(b, serve.DefaultCacheSize, true)
+	})
+	if got := res.AllocsPerOp(); got > int64(budget) {
+		t.Errorf("serve warm path allocates %d allocs/op, budget is %d (testdata/serve_alloc_budget)",
+			got, budget)
+	} else {
+		t.Logf("serve warm path: %d allocs/op within budget %d", got, budget)
+	}
+}

@@ -1,13 +1,16 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"mime"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -24,6 +27,10 @@ import (
 type NormalizeRequest struct {
 	// Spec names the specification to evaluate against.
 	Spec string `json:"spec"`
+	// Version pins a registry version ("sha256:<hex>" as returned by
+	// POST /v1/specs). Empty means the base library. The response echoes
+	// the resolved id whenever the request pinned one.
+	Version string `json:"version,omitempty"`
 	// Term is the ground term to normalize, in surface syntax.
 	Term string `json:"term"`
 	// Trace, when true, returns every rewrite step (and bypasses the
@@ -40,6 +47,9 @@ type NormalizeRequest struct {
 // NormalizeResponse is the 200 body of POST /v1/normalize.
 type NormalizeResponse struct {
 	Spec string `json:"spec"`
+	// Version is the resolved registry version id, echoed only when the
+	// request pinned one (base-library requests stay version-silent).
+	Version string `json:"version,omitempty"`
 	// Input echoes the parsed term in canonical spelling.
 	Input      string `json:"input"`
 	NormalForm string `json:"normal_form"`
@@ -99,18 +109,68 @@ type SpecCheck struct {
 // SpecsResponse is the body of GET /v1/specs.
 type SpecsResponse struct {
 	Specs []speclib.Summary `json:"specs"`
+	// Versions lists the registered uploads (the base library is implied
+	// and omitted, so servers that never saw an upload keep the historic
+	// response shape).
+	Versions []VersionSummary `json:"versions,omitempty"`
 }
 
+// VersionSummary is one uploaded registry version in GET /v1/specs.
+type VersionSummary struct {
+	Version string   `json:"version"`
+	Specs   []string `json:"specs"`
+}
+
+// SpecUploadRequest is the body of POST /v1/specs: specification source
+// to register. The source is canonically formatted and content-
+// addressed; registering the same content twice returns the same
+// version id.
+type SpecUploadRequest struct {
+	Source string `json:"source"`
+}
+
+// SpecUploadResponse answers an upload: 201 when the version was
+// created, 200 when the content was already registered.
+type SpecUploadResponse struct {
+	Version string   `json:"version"`
+	Created bool     `json:"created"`
+	Specs   []string `json:"specs"`
+}
+
+// encBufPool recycles the JSON encode buffers of writeJSON; together
+// with normRespPool it keeps the warm normalize path from allocating a
+// fresh output buffer per response (the serve_alloc_budget gate).
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuf caps what goes back in the pool: one giant trace
+// response must not pin its buffer forever.
+const maxPooledBuf = 64 << 10
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	data, err := json.MarshalIndent(v, "", "  ")
-	if err != nil {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
 		// v is one of our own response structs; this cannot fail.
 		panic(fmt.Sprintf("serve: marshaling %T: %v", v, err))
 	}
-	data = append(data, '\n')
-	w.Write(data)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledBuf {
+		encBufPool.Put(buf)
+	}
+}
+
+// normRespPool recycles NormalizeResponse structs on the normalize
+// path; writeJSON is synchronous, so the struct is free for reuse as
+// soon as it returns.
+var normRespPool = sync.Pool{New: func() any { return new(NormalizeResponse) }}
+
+func putNormResp(resp *NormalizeResponse) {
+	*resp = NormalizeResponse{}
+	normRespPool.Put(resp)
 }
 
 // maxBodyBytes caps POST bodies: a term or spec source that needs more
@@ -166,12 +226,23 @@ func (s *Server) handleNormalize(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	sp, ok := s.env.Get(req.Spec)
+	ver, ok := s.reg.Resolve(req.Version)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown version %q", req.Version)})
+		return
+	}
+	// The response pins the version only when the request did: base
+	// requests keep the historic shape.
+	echoVersion := ""
+	if req.Version != "" {
+		echoVersion = ver.ID
+	}
+	sp, ok := ver.Env.Get(req.Spec)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown specification %q", req.Spec)})
 		return
 	}
-	base, err := s.env.System(sp.Name)
+	base, err := ver.Env.System(sp.Name)
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 		return
@@ -179,11 +250,13 @@ func (s *Server) handleNormalize(w http.ResponseWriter, r *http.Request) {
 	// The parse cache short-circuits lexing/parsing/sort-checking for
 	// hot request strings; on a miss the term is canonicalized into the
 	// spec's shared interner, whose canonical pointer is the normal-form
-	// cache key (forks resolve it in O(1)).
-	parseKey := sp.Name + "\x00" + req.Term
+	// cache key (forks resolve it in O(1)). Keys carry the version's
+	// content address, so entries are never invalidated — a new upload
+	// mints new keys and the old version's entries idle out of the LRU.
+	parseKey := ver.ID + "\x00" + sp.Name + "\x00" + req.Term
 	canon, ok := s.parsed.Get(parseKey)
 	if !ok {
-		t, err := s.env.ParseTerm(sp.Name, req.Term)
+		t, err := ver.Env.ParseTerm(sp.Name, req.Term)
 		if err != nil {
 			writeParseError(w, err)
 			return
@@ -195,13 +268,17 @@ func (s *Server) handleNormalize(w http.ResponseWriter, r *http.Request) {
 	useCache := !req.Trace
 	if useCache {
 		if hit, ok := s.cache.Get(canon); ok {
-			writeJSON(w, http.StatusOK, NormalizeResponse{
+			resp := normRespPool.Get().(*NormalizeResponse)
+			*resp = NormalizeResponse{
 				Spec:       sp.Name,
+				Version:    echoVersion,
 				Input:      canon.String(),
 				NormalForm: hit.nf.String(),
 				Steps:      hit.steps,
 				Cached:     true,
-			})
+			}
+			writeJSON(w, http.StatusOK, resp)
+			putNormResp(resp)
 			return
 		}
 	}
@@ -256,17 +333,27 @@ func (s *Server) handleNormalize(w http.ResponseWriter, r *http.Request) {
 
 	if useCache && res.err == nil {
 		s.cache.Put(canon, cacheEntry{nf: res.nf, steps: res.stats.Steps})
+		// Durability rides the cold path: the WAL write hides behind the
+		// normalization this request just paid for.
+		s.pers.append(walRecord{
+			Version: ver.ID, Spec: sp.Name, Sort: string(canon.Sort),
+			Term: canon.String(), NF: res.nf.String(), Steps: res.stats.Steps,
+		})
 	}
 	switch {
 	case res.err == nil:
-		writeJSON(w, http.StatusOK, NormalizeResponse{
+		resp := normRespPool.Get().(*NormalizeResponse)
+		*resp = NormalizeResponse{
 			Spec:       sp.Name,
+			Version:    echoVersion,
 			Input:      canon.String(),
 			NormalForm: res.nf.String(),
 			Steps:      res.stats.Steps,
 			Cached:     false,
 			Trace:      trace,
-		})
+		}
+		writeJSON(w, http.StatusOK, resp)
+		putNormResp(resp)
 	case errors.Is(res.err, rewrite.ErrCanceled):
 		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "normalization exceeded the request deadline"})
 	default:
@@ -370,8 +457,55 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleSpecUpload registers specification source in the content-
+// addressed registry: canonical formatting, SHA-256 version id,
+// compile-once against the base library. Re-uploading existing content
+// is free and answers 200 with the existing id; new content compiles,
+// persists (when durability is on) and answers 201.
+func (s *Server) handleSpecUpload(w http.ResponseWriter, r *http.Request) {
+	var req SpecUploadRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "empty source: POST {\"source\": \"spec ... end\"}"})
+		return
+	}
+	v, created, err := s.reg.Register(req.Source)
+	if err != nil {
+		writeParseError(w, err)
+		return
+	}
+	if created {
+		if err := s.pers.saveSpec(v.ID, v.Source); err != nil {
+			s.pers.persistErrs.Add(1)
+		}
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, SpecUploadResponse{Version: v.ID, Created: created, Specs: v.Specs})
+}
+
 func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, SpecsResponse{Specs: speclib.Summarize(s.env)})
+	resp := SpecsResponse{Specs: speclib.Summarize(s.env)}
+	for _, v := range s.reg.Versions() {
+		if v.Source == "" {
+			continue // the base library is implied
+		}
+		resp.Versions = append(resp.Versions, VersionSummary{Version: v.ID, Specs: v.Specs})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz is the cluster router's liveness probe: uninstrumented
+// (a health check must not skew request metrics) and cache-free, it
+// answers as long as the process can serve HTTP at all.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -388,4 +522,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.exposition(w, hits, misses, pHits, pMisses,
 		[6]int64{int64(st.Steps), int64(st.RuleFires), int64(st.MemoHits), int64(st.NativeCalls),
 			int64(st.CompiledEvals), int64(st.InterpEvals)}, interned)
+
+	fmt.Fprintln(w, "# HELP adt_registry_versions Registry versions held (base library included).")
+	fmt.Fprintln(w, "# TYPE adt_registry_versions gauge")
+	fmt.Fprintf(w, "adt_registry_versions %d\n", s.reg.Len())
+	if s.pers != nil {
+		for _, c := range []struct {
+			name, help string
+			kind       string
+			val        int64
+		}{
+			{"adt_persist_wal_records_total", "Normal-form entries appended to the WAL since boot.", "counter", s.pers.walRecords.Load()},
+			{"adt_persist_snapshots_total", "Snapshots written since boot.", "counter", s.pers.snapshots.Load()},
+			{"adt_persist_dropped_total", "Entries not persisted because the store hit its capacity bound.", "counter", s.pers.dropped.Load()},
+			{"adt_persist_errors_total", "Persistence I/O or integrity errors (a nonzero value at boot means a corrupt store forced a cold start).", "counter", s.pers.persistErrs.Load()},
+			{"adt_persist_stale_skipped_total", "Persisted entries skipped because their version is unknown to this boot.", "counter", s.pers.staleSkipped.Load()},
+			{"adt_warm_entries", "Cache entries installed warm at boot (persisted store plus corpus warming).", "gauge", s.pers.warmLoaded.Load()},
+		} {
+			fmt.Fprintf(w, "# HELP %s %s\n", c.name, c.help)
+			fmt.Fprintf(w, "# TYPE %s %s\n", c.name, c.kind)
+			fmt.Fprintf(w, "%s %d\n", c.name, c.val)
+		}
+	}
 }

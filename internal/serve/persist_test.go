@@ -1,0 +1,231 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"algspec/internal/serve"
+)
+
+func normalizeBody(t testing.TB, spec, term, version string) string {
+	t.Helper()
+	req := map[string]any{"spec": spec, "term": term}
+	if version != "" {
+		req["version"] = version
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func decodeNormalize(t testing.TB, body string) serve.NormalizeResponse {
+	t.Helper()
+	var resp serve.NormalizeResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("bad normalize body %q: %v", body, err)
+	}
+	return resp
+}
+
+// TestRestartWarm is the durability acceptance test: a server that
+// normalized a term, snapshotted and shut down must answer the same
+// request as a cache hit immediately after restart — the cold path is
+// paid once per cluster lifetime, not once per process.
+func TestRestartWarm(t *testing.T) {
+	dir := t.TempDir()
+	term := "front(add(add(new, 'x), 'y))"
+
+	srv1, err := serve.New(serve.Config{PersistDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := newTestServerFrom(t, srv1)
+	code, body := do(t, ts1, "POST", "/v1/normalize", normalizeBody(t, "Queue", term, ""))
+	if code != http.StatusOK {
+		t.Fatalf("first request: status %d: %s", code, body)
+	}
+	first := decodeNormalize(t, body)
+	if first.Cached {
+		t.Fatalf("first request claims to be cached: %s", body)
+	}
+	ts1.Close()
+	srv1.Close() // writes the final snapshot
+
+	srv2, err := serve.New(serve.Config{PersistDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := newTestServerFrom(t, srv2)
+	defer func() { ts2.Close(); srv2.Close() }()
+	code, body = do(t, ts2, "POST", "/v1/normalize", normalizeBody(t, "Queue", term, ""))
+	if code != http.StatusOK {
+		t.Fatalf("post-restart request: status %d: %s", code, body)
+	}
+	second := decodeNormalize(t, body)
+	if !second.Cached {
+		t.Fatalf("first post-restart request missed the cache: %s", body)
+	}
+	if second.NormalForm != first.NormalForm || second.Steps != first.Steps {
+		t.Fatalf("restarted answer diverged: %+v vs %+v", second, first)
+	}
+}
+
+// TestRestartWarmFromWALOnly covers the crash path: the first server
+// never closes (no snapshot), so the second boot replays the WAL alone.
+func TestRestartWarmFromWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	term := "front(add(add(new, 'q), 'r))"
+
+	srv1, err := serve.New(serve.Config{PersistDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := newTestServerFrom(t, srv1)
+	t.Cleanup(func() { ts1.Close(); srv1.Close() })
+	if code, body := do(t, ts1, "POST", "/v1/normalize", normalizeBody(t, "Queue", term, "")); code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "nf.snapshot")); !os.IsNotExist(err) {
+		t.Fatalf("snapshot exists before any close (stat err %v); WAL-only path not exercised", err)
+	}
+
+	srv2, err := serve.New(serve.Config{PersistDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := newTestServerFrom(t, srv2)
+	defer func() { ts2.Close(); srv2.Close() }()
+	code, body := do(t, ts2, "POST", "/v1/normalize", normalizeBody(t, "Queue", term, ""))
+	if code != http.StatusOK || !decodeNormalize(t, body).Cached {
+		t.Fatalf("WAL replay did not warm the cache (status %d): %s", code, body)
+	}
+}
+
+// TestRestartWarmUpload: an uploaded version and its cache entries
+// survive a restart together — the persisted spec source re-registers
+// under the same content address, so persisted NF entries for it
+// resolve.
+func TestRestartWarmUpload(t *testing.T) {
+	dir := t.TempDir()
+
+	srv1, err := serve.New(serve.Config{PersistDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := newTestServerFrom(t, srv1)
+	src, _ := json.Marshal(goodCheckSrc)
+	code, body := do(t, ts1, "POST", "/v1/specs", fmt.Sprintf(`{"source":%s}`, src))
+	if code != http.StatusCreated {
+		t.Fatalf("upload: status %d: %s", code, body)
+	}
+	var up serve.SpecUploadResponse
+	if err := json.Unmarshal([]byte(body), &up); err != nil {
+		t.Fatal(err)
+	}
+	code, body = do(t, ts1, "POST", "/v1/normalize", normalizeBody(t, "Toggle", "lit?(on(off))", up.Version))
+	if code != http.StatusOK {
+		t.Fatalf("versioned normalize: status %d: %s", code, body)
+	}
+	ts1.Close()
+	srv1.Close()
+
+	srv2, err := serve.New(serve.Config{PersistDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := newTestServerFrom(t, srv2)
+	defer func() { ts2.Close(); srv2.Close() }()
+	code, body = do(t, ts2, "POST", "/v1/normalize", normalizeBody(t, "Toggle", "lit?(on(off))", up.Version))
+	if code != http.StatusOK {
+		t.Fatalf("versioned normalize after restart: status %d: %s", code, body)
+	}
+	resp := decodeNormalize(t, body)
+	if !resp.Cached || resp.NormalForm != "true" || resp.Version != up.Version {
+		t.Fatalf("restarted versioned answer wrong: %s", body)
+	}
+}
+
+// corruptOneByte flips one byte in the middle of the file.
+func corruptOneByte(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatalf("%s is empty, nothing to corrupt", path)
+	}
+	i := len(data) / 2
+	data[i] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptStoreColdStart: flipping a single byte anywhere in the
+// persisted store must be detected at boot — the server starts cold
+// (correctness over warmth), serves normally, and raises
+// adt_persist_errors_total so an operator sees the corruption.
+func TestCorruptStoreColdStart(t *testing.T) {
+	for _, file := range []string{"nf.snapshot", "nf.wal"} {
+		t.Run(file, func(t *testing.T) {
+			dir := t.TempDir()
+			term := "front(add(add(new, 'x), 'y))"
+
+			srv1, err := serve.New(serve.Config{PersistDir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts1 := newTestServerFrom(t, srv1)
+			if code, body := do(t, ts1, "POST", "/v1/normalize", normalizeBody(t, "Queue", term, "")); code != http.StatusOK {
+				t.Fatalf("status %d: %s", code, body)
+			}
+			ts1.Close()
+			if file == "nf.snapshot" {
+				srv1.Close() // fold the WAL into a snapshot, then corrupt that
+			} else {
+				defer srv1.Close()
+			}
+			corruptOneByte(t, filepath.Join(dir, file))
+
+			srv2, err := serve.New(serve.Config{PersistDir: dir})
+			if err != nil {
+				t.Fatalf("boot over a corrupt store must fall back cold, got error: %v", err)
+			}
+			ts2 := newTestServerFrom(t, srv2)
+			defer func() { ts2.Close(); srv2.Close() }()
+
+			_, page := do(t, ts2, "GET", "/metrics", "")
+			if got := metricValue(t, page, "adt_persist_errors_total"); got == 0 {
+				t.Fatalf("corruption in %s went uncounted:\n%s", file, page)
+			}
+			if got := metricValue(t, page, "adt_warm_entries"); got != 0 {
+				t.Fatalf("%d entr(ies) loaded from a corrupt %s", got, file)
+			}
+			code, body := do(t, ts2, "POST", "/v1/normalize", normalizeBody(t, "Queue", term, ""))
+			if code != http.StatusOK || decodeNormalize(t, body).Cached {
+				t.Fatalf("cold fallback broken (status %d): %s", code, body)
+			}
+		})
+	}
+}
+
+// TestWarmFromCorpus: Config.Warm alone (no persisted store) must make
+// the first golden-corpus request a cache hit.
+func TestWarmFromCorpus(t *testing.T) {
+	ts := newTestServer(t, serve.Config{Warm: true})
+	code, body := do(t, ts, "POST", "/v1/normalize",
+		normalizeBody(t, "Queue", "front(add(add(new, 'a), 'b))", ""))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if !decodeNormalize(t, body).Cached {
+		t.Fatalf("corpus warming missed the golden battery: %s", body)
+	}
+}

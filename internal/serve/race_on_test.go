@@ -1,0 +1,7 @@
+//go:build race
+
+package serve_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation gate skips under it because instrumentation shifts counts.
+const raceEnabled = true

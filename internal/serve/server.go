@@ -3,9 +3,12 @@
 // Gall, run as infrastructure. A client POSTs a spec name and a term;
 // the server normalizes the term against Guttag's axioms and answers
 // with the normal form, the reduction count, and (opt-in) the full
-// rewrite trace. The four checkers run on uploaded specs, the spec
-// library is listable, and every engine counter from the rewrite layer
-// is scraped at GET /metrics in the Prometheus text format.
+// rewrite trace. Specifications are held in a content-addressed
+// registry: POST /v1/specs mints an immutable version id for an
+// uploaded source, and normalize requests may pin any version. The
+// four checkers run on uploaded specs, the spec library is listable,
+// and every engine counter from the rewrite layer is scraped at
+// GET /metrics in the Prometheus text format.
 //
 // Concurrency discipline (DESIGN §10): one immutable compiled
 // rewrite.System per spec is shared by reference; every request
@@ -15,15 +18,24 @@
 // the only shared mutable state is the sharded LRU normal-form cache,
 // which exchanges immutable entries under shard locks, and the atomic
 // stats recorder the forks drain into.
+//
+// Durability (DESIGN §13): with Config.PersistDir set, uploaded specs
+// and every cold normalization are persisted (snapshot + WAL, integrity
+// digested), and a restarted server reloads them at boot so its first
+// request is served from the warm cache.
 package serve
 
 import (
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"algspec/internal/core"
+	"algspec/internal/corpus"
+	"algspec/internal/registry"
 	"algspec/internal/rewrite"
+	"algspec/internal/sig"
 	"algspec/internal/speclib"
 )
 
@@ -41,24 +53,51 @@ type Config struct {
 	// Timeout is the per-request wall-clock deadline (0: none). A
 	// request may ask for a shorter deadline, never a longer one.
 	Timeout time.Duration
+	// PersistDir, when non-empty, enables durability: uploaded spec
+	// sources and normal-form entries are written under this directory
+	// and reloaded at the next boot. Corrupt files are rejected (with
+	// the adt_persist_errors_total counter raised) and the server falls
+	// back to a cold start.
+	PersistDir string
+	// SnapshotEvery is the period of the background snapshot that folds
+	// the WAL into nf.snapshot (0: DefaultSnapshotEvery). Only
+	// meaningful with PersistDir; a final snapshot is always taken on
+	// Close.
+	SnapshotEvery time.Duration
+	// Warm, when true, pre-normalizes the golden-conformance battery
+	// (the corpus mirrored in specs/golden/) into the normal-form cache
+	// at boot, so even a server without a persisted store answers its
+	// first corpus request warm.
+	Warm bool
 }
 
 // DefaultCacheSize is the normal-form cache bound when Config leaves
 // CacheSize zero.
 const DefaultCacheSize = 1 << 16
 
+// DefaultSnapshotEvery is the background snapshot period when Config
+// leaves SnapshotEvery zero.
+const DefaultSnapshotEvery = 30 * time.Second
+
 // Server is the spec-evaluation service. Create with New, mount
 // Handler on an http.Server, and Close on the way out.
 type Server struct {
 	cfg     Config
-	env     *core.Env
-	sources []string // lib + extras, for rebuilding check environments
+	reg     *registry.Registry
+	env     *core.Env // the base version's environment
+	sources []string  // lib + extras, for rebuilding check environments
 	cache   *nfCache
 	parsed  *parseCache
+	pers    *persister
 	met     *metrics
 	rec     rewrite.StatsRecorder
 	pool    *pool
 	mux     *http.ServeMux
+
+	snapStop chan struct{}
+	snapWG   sync.WaitGroup
+	closeMu  sync.Mutex
+	closed   bool
 }
 
 // New builds a server over the embedded specification library plus any
@@ -75,43 +114,183 @@ func New(cfg Config, extraSources ...string) (*Server, error) {
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = DefaultCacheSize
 	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
 	sources := append(append([]string{}, speclib.Sources...), extraSources...)
-	env := core.NewEnv()
-	for _, src := range sources {
-		if _, err := env.Load(src); err != nil {
-			return nil, err
-		}
+	reg, err := registry.New(sources)
+	if err != nil {
+		return nil, err
 	}
 	s := &Server{
 		cfg:     cfg,
-		env:     env,
+		reg:     reg,
+		env:     reg.Base().Env,
 		sources: sources,
 		cache:   newNFCache(cfg.CacheSize),
 		parsed:  newParseCache(cfg.CacheSize),
 		met:     newMetrics(),
 	}
-	for _, name := range env.Names() {
-		if _, err := env.System(name); err != nil {
+	if cfg.PersistDir != "" {
+		persistCap := cfg.CacheSize
+		if persistCap <= 0 {
+			persistCap = DefaultCacheSize
+		}
+		s.pers, err = newPersister(cfg.PersistDir, persistCap)
+		if err != nil {
 			return nil, err
 		}
+		s.loadPersisted()
+	}
+	if cfg.Warm {
+		s.warmFromCorpus()
 	}
 	s.pool = newPool(cfg.Workers, &s.rec)
 	s.mux = http.NewServeMux()
 	s.mux.Handle("POST /v1/normalize", s.instrument("normalize", s.handleNormalize))
 	s.mux.Handle("POST /v1/check", s.instrument("check", s.handleCheck))
+	s.mux.Handle("POST /v1/specs", s.instrument("upload", s.handleSpecUpload))
 	s.mux.Handle("GET /v1/specs", s.instrument("specs", s.handleSpecs))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.pers != nil {
+		s.snapStop = make(chan struct{})
+		s.snapWG.Add(1)
+		go s.snapshotLoop()
+	}
 	return s, nil
+}
+
+// loadPersisted restores the durable state: re-registers every uploaded
+// spec source, then replays the snapshot+WAL into the normal-form
+// cache. Failures never abort boot — a corrupt store means a cold
+// start, counted in adt_persist_errors_total — because the persisted
+// cache is an accelerator, not a source of truth.
+func (s *Server) loadPersisted() {
+	srcs, errs := loadSpecSources(s.cfg.PersistDir)
+	s.pers.persistErrs.Add(int64(len(errs)))
+	for _, src := range srcs {
+		if _, _, err := s.reg.Register(src); err != nil {
+			s.pers.persistErrs.Add(1)
+		}
+	}
+	recs, err := loadNFStore(s.cfg.PersistDir)
+	if err != nil {
+		s.pers.persistErrs.Add(1)
+		return
+	}
+	s.pers.seed(recs)
+	for _, rec := range recs {
+		ver, ok := s.reg.Resolve(rec.Version)
+		if !ok || rec.Version == "" {
+			// An entry written by a server with a different base library
+			// (or a lost upload): its terms may not even parse here.
+			s.pers.staleSkipped.Add(1)
+			continue
+		}
+		sys, err := ver.Env.System(rec.Spec)
+		if err != nil {
+			s.pers.staleSkipped.Add(1)
+			continue
+		}
+		in, err := ver.Env.ParseTermAs(rec.Spec, rec.Term, sig.Sort(rec.Sort))
+		if err != nil {
+			s.pers.persistErrs.Add(1)
+			continue
+		}
+		nf, err := ver.Env.ParseTermAs(rec.Spec, rec.NF, sig.Sort(rec.Sort))
+		if err != nil {
+			s.pers.persistErrs.Add(1)
+			continue
+		}
+		canon := sys.Interner().Canon(in)
+		s.cache.Put(canon, cacheEntry{nf: sys.Interner().Canon(nf), steps: rec.Steps})
+		s.parsed.Put(ver.ID+"\x00"+rec.Spec+"\x00"+rec.Term, canon)
+		s.pers.warmLoaded.Add(1)
+	}
+}
+
+// warmFromCorpus normalizes the golden-conformance battery into the
+// cache at boot. Entries are computed on plain forks (real step counts,
+// no pool, no stats recorder — request metrics stay exact) and fed to
+// the persister like any cold result, so the warmth is durable too.
+func (s *Server) warmFromCorpus() {
+	base := s.reg.Base()
+	for _, name := range corpus.BatterySpecs() {
+		sys, err := base.Env.System(name)
+		if err != nil {
+			continue
+		}
+		for _, src := range corpus.Battery(name) {
+			t, err := base.Env.ParseTerm(name, src)
+			if err != nil {
+				continue
+			}
+			canon := sys.Interner().Canon(t)
+			f := sys.Fork(rewrite.WithMaxSteps(s.cfg.Fuel))
+			nf, err := f.Normalize(canon)
+			if err != nil {
+				continue
+			}
+			steps := f.Stats().Steps
+			s.cache.Put(canon, cacheEntry{nf: nf, steps: steps})
+			s.parsed.Put(base.ID+"\x00"+name+"\x00"+src, canon)
+			s.pers.append(walRecord{
+				Version: base.ID, Spec: name, Sort: string(canon.Sort),
+				Term: canon.String(), NF: nf.String(), Steps: steps,
+			})
+			if s.pers != nil {
+				s.pers.warmLoaded.Add(1)
+			}
+		}
+	}
+}
+
+// snapshotLoop periodically folds the WAL into a fresh snapshot so a
+// crash replays a short log, not the whole history.
+func (s *Server) snapshotLoop() {
+	defer s.snapWG.Done()
+	t := time.NewTicker(s.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.pers.snapshot(); err != nil {
+				s.pers.persistErrs.Add(1)
+			}
+		case <-s.snapStop:
+			return
+		}
+	}
 }
 
 // Handler returns the HTTP handler tree; mount it on an http.Server or
 // an httptest.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close drains the worker pool: queued and running normalizations
-// finish (or hit their fuel/stop bounds) before Close returns. Call it
-// after http.Server.Shutdown has stopped new requests.
-func (s *Server) Close() { s.pool.close() }
+// Registry exposes the content-addressed spec registry (the cluster
+// router reads version ids through it).
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// Close drains the worker pool — queued and running normalizations
+// finish (or hit their fuel/stop bounds) — then stops the snapshotter
+// and writes a final snapshot. Call it after http.Server.Shutdown has
+// stopped new requests. Close is idempotent.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+	s.pool.close()
+	if s.pers != nil {
+		close(s.snapStop)
+		s.snapWG.Wait()
+		s.pers.close()
+	}
+}
 
 // instrument wraps an API handler with the in-flight gauge, the
 // per-(endpoint, code) request counter and the latency histogram.

@@ -136,10 +136,27 @@ func (in *Interner) node(k Kind, sym string, sort sig.Sort, args []*Term, owned 
 			break
 		}
 	}
-	t := &Term{Kind: k, Sym: sym, Sort: sort, Args: args, owner: in, ground: ground}
+	t := &Term{Kind: k, Sym: sym, Sort: sort, Args: args, owner: in, ground: ground,
+		shash: stableHashCanon(k, sym, sort, args)}
 	in.buckets[h] = append(in.buckets[h], t)
 	in.n++
 	return t
+}
+
+// stableHashCanon computes the cached StableHash of a new canonical
+// node whose arguments are already canonical (so their own stable
+// hashes are cached). One multiplicative mix per child, no allocation.
+func stableHashCanon(k Kind, sym string, sort sig.Sort, args []*Term) uint64 {
+	if len(args) == 0 {
+		return stableHashNode(k, sym, sort, nil)
+	}
+	h := stableHashNode(k, sym, sort, nil)
+	const prime64 = 1099511628211
+	for _, a := range args {
+		h = (h ^ a.shash) * prime64
+		h ^= h >> 32
+	}
+	return h
 }
 
 // canonArgs returns a canonical version of args, reusing the input slice
@@ -338,7 +355,8 @@ func (in *Interner) canonLocked(t *Term) *Term {
 			break
 		}
 	}
-	nt := &Term{Kind: t.Kind, Sym: t.Sym, Sort: t.Sort, Args: args, owner: in, ground: ground}
+	nt := &Term{Kind: t.Kind, Sym: t.Sym, Sort: t.Sort, Args: args, owner: in, ground: ground,
+		shash: stableHashCanon(t.Kind, t.Sym, t.Sort, args)}
 	in.buckets[h] = append(in.buckets[h], nt)
 	in.n++
 	return nt

@@ -85,6 +85,10 @@ type Term struct {
 	// to skip a per-node map lookup). Zero means no hint; interned terms
 	// never carry one.
 	hint uint32
+	// shash caches StableHash for interned nodes, computed once at
+	// intern time from the canonical arguments' cached hashes. Zero for
+	// non-interned terms (which recompute per call).
+	shash uint64
 	// nfTag is an advisory normal-form mark: a rewrite system stamps its
 	// generation token here once the term is known to be its own normal
 	// form under that system's (immutable) rule program. Accessed
@@ -205,6 +209,64 @@ func (t *Term) Hash() uint64 {
 	h := fnv.New64a()
 	t.hashInto(h)
 	return h.Sum64()
+}
+
+// StableHash returns a structural hash consistent with Equal that is
+// stable across processes and executions: it mixes only the node's own
+// bytes (kind, symbol, and — for variables and atoms — sort) with its
+// children's stable hashes, never pointers or map iteration order. The
+// cluster router derives shard keys from it, so two replicas (or a
+// router and a replica) computing the key for the same term must agree
+// even though their interners hand out different pointers. For interned
+// terms the value is computed once at intern time and answered in O(1);
+// other terms pay one structural walk per call.
+func (t *Term) StableHash() uint64 {
+	if t.owner != nil {
+		return t.shash
+	}
+	return stableHashTerm(t)
+}
+
+// stableHashNode combines a node's own bytes with already-computed
+// child hashes. Mirrors hashInto's structure (Err nodes all hash alike;
+// Op nodes ignore sort, like Equal does) with an FNV-1a-style mix.
+func stableHashNode(k Kind, sym string, sort sig.Sort, childHashes []uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(k)) * prime64
+	if k != Err {
+		for i := 0; i < len(sym); i++ {
+			h = (h ^ uint64(sym[i])) * prime64
+		}
+		h = (h ^ 0xfe) * prime64
+		if k == Var || k == Atom {
+			for i := 0; i < len(sort); i++ {
+				h = (h ^ uint64(sort[i])) * prime64
+			}
+		}
+	}
+	for _, ch := range childHashes {
+		h = (h ^ ch) * prime64
+		h ^= h >> 32
+	}
+	return h
+}
+
+func stableHashTerm(t *Term) uint64 {
+	if t.owner != nil {
+		return t.shash
+	}
+	var childHashes []uint64
+	if len(t.Args) > 0 {
+		childHashes = make([]uint64, len(t.Args))
+		for i, a := range t.Args {
+			childHashes[i] = stableHashTerm(a)
+		}
+	}
+	return stableHashNode(t.Kind, t.Sym, t.Sort, childHashes)
 }
 
 type hashWriter interface{ Write([]byte) (int, error) }
