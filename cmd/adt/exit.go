@@ -1,0 +1,54 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Exit codes. Every subcommand exits 0 on success and 1 on plain
+// errors; the testing fronts (adt test, adt conform, adt gen-driver
+// -selftest) distinguish their outcomes so CI pipelines can react to
+// each class without parsing output:
+//
+//	0  success
+//	1  infrastructure error (I/O, engine fault, bad server answer)
+//	2  usage error (unknown subcommand, missing required flag)
+//	3  oracle failure (behavior disagrees with the specification)
+//	4  mutation survivor (a mutant passed a suite that must kill it)
+//
+// When a run has both oracle failures and mutation survivors, the
+// oracle failure wins: a real disagreement outranks a weak suite.
+const (
+	exitOK       = 0
+	exitInfra    = 1
+	exitUsage    = 2
+	exitOracle   = 3
+	exitSurvivor = 4
+)
+
+// exitError carries a specific exit code up through run()'s error
+// return; plain errors exit with exitInfra.
+type exitError struct {
+	code int
+	err  error
+}
+
+func (e *exitError) Error() string { return e.err.Error() }
+func (e *exitError) Unwrap() error { return e.err }
+
+// exitf builds an error that exits with the given code.
+func exitf(code int, format string, a ...any) error {
+	return &exitError{code: code, err: fmt.Errorf(format, a...)}
+}
+
+// exitCode maps an error from a subcommand to the process exit code.
+func exitCode(err error) int {
+	if err == nil {
+		return exitOK
+	}
+	var ee *exitError
+	if errors.As(err, &ee) {
+		return ee.code
+	}
+	return exitInfra
+}

@@ -23,7 +23,7 @@ func cmdLoad(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "workload seed; same seed, same request sequence")
 	duration := fs.Duration("duration", 5*time.Second, "nominal run length; total requests = rps * duration")
 	rps := fs.Int("rps", 50, "request pacing rate (requests per second)")
-	mixSpec := fs.String("mix", "", "workload mix, e.g. normalize=8,check=1,specs=1 (empty = default)")
+	mixSpec := fs.String("mix", "", "workload mix, e.g. normalize=8,check=1,specs=1,conform=2 (empty = default)")
 	faults := fs.String("faults", "", "fault points to arm: 'all' or name[=every[:delay]],... (empty = none)")
 	sloSpec := fs.String("slo", "", "latency objectives, e.g. p99=50ms,p50=5ms (empty = none)")
 	workers := fs.Int("workers", 4, "client worker goroutines; 1 gives a bit-reproducible run")
@@ -61,6 +61,12 @@ func cmdLoad(args []string, out io.Writer) error {
 
 	if *replicas < 0 {
 		return fmt.Errorf("load: -replicas must be >= 0 (got %d)", *replicas)
+	}
+	if *replicas > 0 && mix.Conform > 0 {
+		// The cluster router does not route /v1/conform (sessions are
+		// replica-local state a consistent-hash router cannot follow), so a
+		// conform mix against a cluster would only ever see 404s.
+		return fmt.Errorf("load: conform mix traffic requires a single server (-replicas 0); the cluster router does not route /v1/conform")
 	}
 	scfg := serve.Config{Workers: *srvWorkers, Timeout: *srvTimeout, CacheSize: *srvCache}
 

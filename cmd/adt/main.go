@@ -10,6 +10,12 @@
 //	adt verify -rep stack|list [-depth N]
 //	adt serve [-addr HOST:PORT] [-workers N] [-fuel N] [-cache N] [-timeout D] [file.spec ...]
 //	adt load [-seed N] [-duration D] [-rps N] [-mix M] [-faults F] [-slo S]
+//	adt gen-driver -spec NAME [-o DIR] [-pkg NAME] [-observe SORTS] [file.spec ...]
+//	adt conform -spec NAME [-url URL] [-impl self|ref|mutants] [file.spec ...]
+//
+// Exit codes: 0 success, 1 infrastructure error, 2 usage error,
+// 3 oracle failure (behavior disagrees with the specification),
+// 4 mutation survivor (see cmd/adt/exit.go).
 //
 // The -lib flag preloads the embedded specification library (the paper's
 // Queue, Symboltable, Stack, Array, Knowlist and friends); files are
@@ -75,6 +81,10 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) int {
 		err = cmdServe(args[1:], out)
 	case "load":
 		err = cmdLoad(args[1:], out)
+	case "gen-driver":
+		err = cmdGenDriver(args[1:], out)
+	case "conform":
+		err = cmdConform(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return 0
@@ -85,7 +95,7 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) int {
 	}
 	if err != nil {
 		fmt.Fprintf(errOut, "adt: %v\n", err)
-		return 1
+		return exitCode(err)
 	}
 	return 0
 }
@@ -128,6 +138,19 @@ subcommands:
                                      an in-process serve instance, with
                                      optional fault injection (see README
                                      "Load testing and fault injection")
+  gen-driver -spec NAME [-o DIR] [-pkg NAME] [-n N] [-depth N]
+          [-seed N] [-observe SORTS] [-selftest] [file ...]
+                                     emit a self-contained Go conformance
+                                     driver package for the spec (see README
+                                     "Conformance as a service")
+  conform -spec NAME [-url URL] [-impl self|ref|mutants]
+          [-observe SORTS] [file ...]
+                                     drive an implementation through a
+                                     /v1/conform oracle session (in-process
+                                     server when -url is empty)
+
+exit codes: 0 success, 1 infrastructure, 2 usage,
+            3 oracle failure, 4 mutation survivor
 `)
 }
 

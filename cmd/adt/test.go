@@ -103,7 +103,7 @@ func cmdTest(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "seed %d (replay any failure with -seed %d)\n", effSeed, effSeed)
 
-	bad := 0
+	oracleBad, survivorBad := 0, 0
 	for _, name := range names {
 		sp, ok := env.Get(name)
 		if !ok {
@@ -126,7 +126,7 @@ func cmdTest(args []string, out io.Writer) error {
 		rep := axtest.CheckAxioms(sp, cfg)
 		fmt.Fprintln(out, rep)
 		if !rep.OK() {
-			bad++
+			oracleBad++
 		}
 		if *diff {
 			drep := axtest.CheckEngines(sp, axtest.DiffConfig{
@@ -136,7 +136,7 @@ func cmdTest(args []string, out io.Writer) error {
 			})
 			fmt.Fprintln(out, drep)
 			if !drep.OK() {
-				bad++
+				oracleBad++
 			}
 		}
 		if *mutate {
@@ -147,12 +147,17 @@ func cmdTest(args []string, out io.Writer) error {
 			mrep := axtest.CheckMutations(sp, mcfg)
 			fmt.Fprintln(out, mrep)
 			if !mrep.OK() {
-				bad++
+				survivorBad++
 			}
 		}
 	}
-	if bad > 0 {
-		return fmt.Errorf("%d test suite(s) failed", bad)
+	// Oracle failures outrank mutation survivors (see exit.go): a real
+	// disagreement is worse news than a suite too weak to kill mutants.
+	switch {
+	case oracleBad > 0:
+		return exitf(exitOracle, "%d test suite(s) failed", oracleBad+survivorBad)
+	case survivorBad > 0:
+		return exitf(exitSurvivor, "%d mutation suite(s) left survivors", survivorBad)
 	}
 	return nil
 }

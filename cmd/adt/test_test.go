@@ -66,8 +66,8 @@ func TestTestSubcommandMutationAcceptance(t *testing.T) {
 func TestTestSubcommandFailureReplay(t *testing.T) {
 	path := writeSpec(t, "buggy.spec", buggySpec)
 	code, out, errOut := runWith(t, "test", "-seed", "11", "-diff=false", path)
-	if code != 1 {
-		t.Fatalf("exit = %d (want 1), out:\n%s", code, out)
+	if code != exitOracle {
+		t.Fatalf("exit = %d (want %d, oracle failure), out:\n%s", code, exitOracle, out)
 	}
 	for _, want := range []string{
 		"axiom oracle of Buggy",

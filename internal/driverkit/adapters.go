@@ -1,0 +1,121 @@
+package driverkit
+
+import (
+	"fmt"
+
+	"algspec/internal/core"
+	"algspec/internal/driverkit/rt"
+	"algspec/internal/model"
+	"algspec/internal/sig"
+	"algspec/internal/spec"
+	"algspec/internal/term"
+)
+
+// EngineImpl adapts the rewrite engine itself to the generated
+// runtime's Impl interface: values are canonical normal forms, Apply
+// builds the operation term over them and normalizes. Running a
+// generated suite against it proves the suite is satisfiable — the
+// spec, as the engine executes it, passes its own driver — and it is
+// the reference adapter the generator's tests (and `adt gen-driver
+// -selftest`) use.
+func EngineImpl(env *core.Env, sp *spec.Spec) (rt.Impl, error) {
+	sys, err := env.System(sp.Name)
+	if err != nil {
+		return nil, err
+	}
+	f, intern := sys.Fork(), sys.Interner()
+	ops := make(map[string]*sig.Operation)
+	for _, op := range sp.Sig.Ops() {
+		ops[op.Name] = op
+	}
+	return &engineImpl{
+		ops: ops,
+		norm: func(t *term.Term) (*term.Term, error) {
+			return f.Normalize(intern.Canon(t))
+		},
+	}, nil
+}
+
+type engineImpl struct {
+	ops  map[string]*sig.Operation
+	norm func(*term.Term) (*term.Term, error)
+}
+
+// value maps an engine normal form to a runtime value. Canonical
+// (interned) terms make reflect.DeepEqual agree with term equality:
+// equal normal forms are the same node.
+func (e *engineImpl) value(nf *term.Term) rt.Value {
+	if nf.Kind == term.Err {
+		return rt.Err
+	}
+	return nf
+}
+
+func (e *engineImpl) Apply(op string, args []rt.Value) (rt.Value, error) {
+	o, ok := e.ops[op]
+	if !ok {
+		return nil, fmt.Errorf("engineimpl: unknown operation %q", op)
+	}
+	if len(args) != len(o.Domain) {
+		return nil, fmt.Errorf("engineimpl: %s called with %d argument(s), want %d", op, len(args), len(o.Domain))
+	}
+	targs := make([]*term.Term, len(args))
+	for i, a := range args {
+		t, ok := a.(*term.Term)
+		if !ok {
+			return nil, fmt.Errorf("engineimpl: %s argument %d is not an engine value (%T)", op, i, a)
+		}
+		targs[i] = t
+	}
+	nf, err := e.norm(term.NewOp(op, o.Range, targs...))
+	if err != nil {
+		return nil, err
+	}
+	return e.value(nf), nil
+}
+
+func (e *engineImpl) Atom(sort, spelling string) (rt.Value, error) {
+	nf, err := e.norm(term.NewAtom(spelling, sig.Sort(sort)))
+	if err != nil {
+		return nil, err
+	}
+	return e.value(nf), nil
+}
+
+// WrapModel adapts a model.Impl (the bundled reference implementations
+// in internal/refimpl, or any user adapter written against the model
+// harness) to the generated runtime's Impl interface. The two value
+// universes coincide except for the distinguished error, which is
+// translated both ways.
+func WrapModel(im *model.Impl) rt.Impl { return modelImpl{im} }
+
+type modelImpl struct{ im *model.Impl }
+
+func (m modelImpl) Apply(op string, args []rt.Value) (rt.Value, error) {
+	conv := make([]model.Value, len(args))
+	for i, a := range args {
+		if rt.IsErr(a) {
+			return nil, fmt.Errorf("modelimpl: %s argument %d is the error value (the runtime short-circuits those)", op, i)
+		}
+		conv[i] = a
+	}
+	v, err := m.im.Apply(op, conv)
+	if err != nil {
+		return nil, err
+	}
+	if model.IsErr(v) {
+		return rt.Err, nil
+	}
+	return v, nil
+}
+
+func (m modelImpl) Atom(sort, spelling string) (rt.Value, error) {
+	v, err := m.im.Atom(sig.Sort(sort), spelling)
+	if err != nil {
+		return nil, err
+	}
+	if model.IsErr(v) {
+		return rt.Err, nil
+	}
+	return v, nil
+}

@@ -1,0 +1,270 @@
+package driverkit_test
+
+import (
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"algspec/internal/core"
+	"algspec/internal/driverkit"
+	"algspec/internal/driverkit/rt"
+	"algspec/internal/refimpl"
+	"algspec/internal/sig"
+	"algspec/internal/speclib"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func loadEnv(t *testing.T) *core.Env {
+	t.Helper()
+	env := core.NewEnv()
+	env.MustLoad(speclib.Sources...)
+	files, err := filepath.Glob(filepath.Join("..", "..", "specs", "*.spec"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("globbing shipped specs: %v (%d files)", err, len(files))
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := env.Load(string(src)); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+	}
+	return env
+}
+
+// obsFor mirrors the conform e2e tests — the bundled references can
+// represent Nat canonically — but only claims the sort where the spec
+// actually has it (Graph has no Nat).
+func obsFor(env *core.Env, spec string) []sig.Sort {
+	if env.MustGet(spec).Sig.HasSort("Nat") {
+		return []sig.Sort{"Nat"}
+	}
+	return nil
+}
+
+func build(t *testing.T, env *core.Env, spec string, cfg driverkit.Config) *driverkit.Package {
+	t.Helper()
+	p, err := driverkit.Build(env, env.MustGet(spec), cfg)
+	if err != nil {
+		t.Fatalf("building %s driver: %v", spec, err)
+	}
+	return p
+}
+
+// TestEngineSelfDrive proves every library spec's generated suite is
+// satisfiable: the engine itself, adapted as an implementation, passes
+// the driver generated from its own spec.
+func TestEngineSelfDrive(t *testing.T) {
+	env := loadEnv(t)
+	for _, name := range speclib.Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p := build(t, env, name, driverkit.Config{})
+			if len(p.Suite.Pairs) == 0 && len(env.MustGet(name).Own) > 0 {
+				t.Fatalf("%s: empty suite (%d skipped)", name, p.Skipped)
+			}
+			impl, err := driverkit.EngineImpl(env, env.MustGet(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := rt.Run(p.Suite, impl)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !res.Pass {
+				t.Fatalf("%s: engine fails its own driver: %s", name, res)
+			}
+			if res.Checked != len(p.Suite.Pairs) {
+				t.Fatalf("%s: checked %d of %d pairs", name, res.Checked, len(p.Suite.Pairs))
+			}
+		})
+	}
+}
+
+// TestReferencesPass runs the generated drivers against the bundled
+// reference implementations through the model bridge.
+func TestReferencesPass(t *testing.T) {
+	env := loadEnv(t)
+	for name, builder := range refimpl.Builders() {
+		name, builder := name, builder
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			sp := env.MustGet(name)
+			p := build(t, env, name, driverkit.Config{ObserveSorts: obsFor(env, name)})
+			if p.AxiomPairs == 0 {
+				t.Fatalf("%s: no axiom pairs baked", name)
+			}
+			res, err := rt.Run(p.Suite, driverkit.WrapModel(builder(sp)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Pass {
+				t.Fatalf("%s: reference fails generated driver: %s", name, res)
+			}
+		})
+	}
+}
+
+// TestMutantsKilled requires the generated driver to kill every
+// single-operation mutant of every reference implementation, with a
+// counterexample that mentions the mutated operation.
+func TestMutantsKilled(t *testing.T) {
+	env := loadEnv(t)
+	total := 0
+	for name := range refimpl.Builders() {
+		sp := env.MustGet(name)
+		p := build(t, env, name, driverkit.Config{ObserveSorts: obsFor(env, name)})
+		for _, m := range refimpl.Mutants(sp) {
+			total++
+			res, err := rt.Run(p.Suite, driverkit.WrapModel(m.Impl))
+			if err != nil {
+				t.Errorf("%s/%s: %v", m.Spec, m.Op, err)
+				continue
+			}
+			if res.Pass {
+				t.Errorf("%s: mutant %s survived the generated driver", m.Spec, m.Op)
+				continue
+			}
+			ce := res.Counterexample
+			if ce == nil {
+				t.Errorf("%s/%s: failing run has no counterexample", m.Spec, m.Op)
+				continue
+			}
+			if !strings.Contains(ce.Program+" "+ce.Expect, m.Op) {
+				t.Errorf("%s/%s: counterexample %q = %q does not mention the mutated operation", m.Spec, m.Op, ce.Program, ce.Expect)
+			}
+		}
+	}
+	if total < 12 {
+		t.Fatalf("only %d mutants enumerated; expected at least 12", total)
+	}
+}
+
+// TestShrinkMinimal pins the shrinker: the Counter undo mutant's
+// counterexample must come out at the minimal instantiation, not
+// whatever random instance happened to fail first.
+func TestShrinkMinimal(t *testing.T) {
+	env := loadEnv(t)
+	sp := env.MustGet("Counter")
+	p := build(t, env, "Counter", driverkit.Config{ObserveSorts: obsFor(env, "Counter")})
+	mut := refimpl.Mutate(sp, refimpl.Builders()["Counter"], "undo")
+	res, err := rt.Run(p.Suite, driverkit.WrapModel(mut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass {
+		t.Fatal("undo mutant survived")
+	}
+	got := res.Counterexample.Program
+	want := map[string]bool{
+		"value(undo(start))":      true,
+		"value(undo(inc(start)))": true,
+		"undo(start)":             true,
+		"undo(inc(start))":        true,
+	}
+	if !want[got] {
+		t.Fatalf("counterexample %q is not minimal", got)
+	}
+}
+
+// TestGolden pins the emitted files byte-for-byte for one shipped spec
+// and one library spec. Regenerate with `go test ./internal/driverkit
+// -run TestGolden -update` after an intentional generator change.
+func TestGolden(t *testing.T) {
+	env := loadEnv(t)
+	for _, tc := range []struct {
+		spec string
+		cfg  driverkit.Config
+	}{
+		{spec: "Counter", cfg: driverkit.Config{ObserveSorts: obsFor(env, "Counter")}},
+		{spec: "Queue", cfg: driverkit.Config{}},
+	} {
+		p := build(t, env, tc.spec, tc.cfg)
+		dir := filepath.Join("testdata", strings.ToLower(tc.spec))
+		for name, src := range p.Files {
+			golden := filepath.Join(dir, name+".golden")
+			if *update {
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(src), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%s: %v (run with -update to regenerate)", golden, err)
+			}
+			if src != string(want) {
+				t.Errorf("%s/%s: emitted source drifted from golden (run with -update if intentional)", tc.spec, name)
+			}
+		}
+	}
+}
+
+// TestEmittedHeaders checks the generated-code markers: everything but
+// the user-owned impl.go carries the standard DO NOT EDIT header.
+func TestEmittedHeaders(t *testing.T) {
+	env := loadEnv(t)
+	p := build(t, env, "Counter", driverkit.Config{})
+	for name, src := range p.Files {
+		generated := strings.HasPrefix(src, "// Code generated by adt gen-driver") &&
+			strings.Contains(strings.SplitN(src, "\n", 2)[0], "DO NOT EDIT.")
+		if name == "impl.go" {
+			if generated {
+				t.Errorf("impl.go must not carry a DO NOT EDIT header: it is the user's file")
+			}
+			continue
+		}
+		if !generated {
+			t.Errorf("%s: missing the generated-code header", name)
+		}
+	}
+}
+
+// TestEmittedCompiles writes each generated package into a scratch
+// module and builds it with the real toolchain — the emitted code must
+// compile with no dependency on this module.
+func TestEmittedCompiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping toolchain compile smoke in -short mode")
+	}
+	env := loadEnv(t)
+	names := append(append([]string(nil), speclib.Names...), "Counter", "Graph", "PQueue")
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p := build(t, env, name, driverkit.Config{})
+			dir := t.TempDir()
+			gomod := "module example.com/" + p.Pkg + "\n\ngo 1.22\n"
+			if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			for fname, src := range p.Files {
+				if err := os.WriteFile(filepath.Join(dir, fname), []byte(src), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, args := range [][]string{
+				{"build", "./..."},
+				{"vet", "./..."}, // type-checks conformance_test.go too
+			} {
+				cmd := exec.Command("go", args...)
+				cmd.Dir = dir
+				cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=-mod=mod")
+				if out, err := cmd.CombinedOutput(); err != nil {
+					t.Fatalf("go %s on generated %s package: %v\n%s", strings.Join(args, " "), name, err, out)
+				}
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -13,8 +14,11 @@ import (
 	"sync"
 	"time"
 
+	"algspec/internal/conform"
+	"algspec/internal/core"
 	"algspec/internal/faultinject"
 	"algspec/internal/serve"
+	"algspec/internal/speclib"
 )
 
 // Config drives one load run.
@@ -88,6 +92,13 @@ func Run(cfg Config) (*Report, error) {
 		},
 		attempts: make(map[string]int64),
 	}
+	if cfg.Mix.Conform > 0 {
+		// The conform evaluators answer the server's probe programs with
+		// an offline engine of their own — self-conformance, so the only
+		// acceptable verdict is Pass. The environment is shared (Env locks
+		// system construction); each session forks its own client.
+		r.conformEnv = speclib.BaseEnv()
+	}
 
 	// Open-loop pacing: request i is released at start + i/RPS. Workers
 	// that fall behind degrade to closed-loop (the channel is unbuffered,
@@ -149,8 +160,9 @@ func Run(cfg Config) (*Report, error) {
 // and a single lock keeps every update atomic with respect to the final
 // read (no lost updates to reconcile away).
 type runner struct {
-	cfg    Config
-	client *http.Client
+	cfg        Config
+	client     *http.Client
+	conformEnv *core.Env // offline engine for conform evaluators (nil unless the mix draws them)
 
 	mu             sync.Mutex
 	attempts       map[string]int64
@@ -167,6 +179,10 @@ type runner struct {
 // classifies the outcome: success, expected-fault, retry-exhausted or
 // failed. Every logical request lands in exactly one bucket.
 func (r *runner) execute(req Request) {
+	if req.Kind == KindConform {
+		r.executeConform(req)
+		return
+	}
 	// Backoff jitter is seeded per request from the run seed, so a
 	// replay redraws the same jitter sequence.
 	jitter := rand.New(rand.NewSource(r.cfg.Seed ^ (int64(req.ID)+1)*0x5DEECE66D))
@@ -251,6 +267,116 @@ func (r *runner) attempt(req Request) (status int, body []byte, err error) {
 	defer resp.Body.Close()
 	body, readErr := io.ReadAll(resp.Body)
 	r.book(fmt.Sprintf("%s:%d", req.Kind, resp.StatusCode), elapsed)
+	if readErr != nil {
+		return 0, nil, readErr
+	}
+	return resp.StatusCode, body, nil
+}
+
+// Sentinels for the conform session loop: a retrying poster reports
+// these up through conform.Drive so the session's terminal state lands
+// in the right outcome bucket.
+var (
+	errExpectedFault  = errors.New("loadgen: injected engine fault (expected under -faults)")
+	errRetryExhausted = errors.New("loadgen: conform retry budget exhausted")
+)
+
+// executeConform drives one logical conform request: a complete oracle
+// session (open, observe rounds, close) against /v1/conform, answered
+// by an offline engine fork — self-conformance, so a finished session
+// must come back Pass. Each wire exchange the session spends is booked
+// under conform:<status> exactly like a single-shot request, which is
+// what keeps the /metrics reconciliation bidirectional: the server
+// counts exchanges, not sessions. Faults land mid-session: a 422
+// (injected fuel exhaustion) abandons the session as an expected fault
+// (the server's TTL reaps it), a 503/504 retries the same message
+// verbatim — the protocol's replay idempotency is what makes that safe.
+func (r *runner) executeConform(req Request) {
+	eval, err := conform.NewEngineClient(r.conformEnv, req.Spec)
+	if err != nil {
+		r.fail(fmt.Sprintf("%s #%d: building evaluator: %v", req.Kind, req.ID, err))
+		return
+	}
+	jitter := rand.New(rand.NewSource(r.cfg.Seed ^ (int64(req.ID)+1)*0x5DEECE66D))
+	const backoffBase = 2 * time.Millisecond
+	const backoffCap = 100 * time.Millisecond
+
+	// The retry budget is per logical request, shared across the
+	// session's exchanges: a flaky run cannot spend unbounded attempts
+	// just because a session has many rounds.
+	budget := r.cfg.RetryBudget
+	post := func(creq *conform.Request) (*conform.Response, error) {
+		for attempt := 0; ; attempt++ {
+			status, body, err := r.conformExchange(creq)
+			if err == nil {
+				switch {
+				case status == http.StatusOK:
+					var resp conform.Response
+					if uerr := json.Unmarshal(body, &resp); uerr != nil {
+						return nil, fmt.Errorf("bad conform body: %w", uerr)
+					}
+					return &resp, nil
+				case status == http.StatusUnprocessableEntity && r.cfg.FaultsArmed:
+					// Injected ErrFuel while the server planned or judged.
+					// Terminal for the session, expected for the run.
+					return nil, errExpectedFault
+				case status == http.StatusServiceUnavailable || status == http.StatusGatewayTimeout:
+					// Fall through to the retry path.
+				default:
+					return nil, fmt.Errorf("conform %s: unexpected status %d: %s", creq.Action, status, clipBody(body))
+				}
+			}
+			if budget <= 0 {
+				return nil, errRetryExhausted
+			}
+			budget--
+			r.bump(&r.retries)
+			d := backoffBase << attempt
+			if d > backoffCap {
+				d = backoffCap
+			}
+			time.Sleep(time.Duration(float64(d) * (0.5 + jitter.Float64()/2)))
+		}
+	}
+
+	v, err := conform.Drive(post, &conform.Request{Spec: req.Spec}, eval)
+	switch {
+	case errors.Is(err, errExpectedFault):
+		r.bump(&r.expectedFault)
+	case errors.Is(err, errRetryExhausted):
+		r.bump(&r.retryExhausted)
+	case err != nil:
+		r.fail(fmt.Sprintf("%s #%d: %v", req.Kind, req.ID, err))
+	case !v.Pass:
+		r.fail(fmt.Sprintf("%s #%d: engine failed self-conformance on %s: %d of %d probe(s) disagree",
+			req.Kind, req.ID, req.Spec, v.FailureCount, v.Checked))
+	default:
+		r.bump(&r.success)
+	}
+}
+
+// conformExchange performs one wire exchange of a conform session and
+// books it, the same contract as attempt.
+func (r *runner) conformExchange(creq *conform.Request) (status int, body []byte, err error) {
+	payload, err := json.Marshal(creq)
+	if err != nil {
+		return 0, nil, err
+	}
+	httpReq, err := http.NewRequest("POST", r.cfg.BaseURL+"/v1/conform", bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := r.client.Do(httpReq)
+	elapsed := time.Since(start)
+	if err != nil {
+		r.book("conform:transport-error", elapsed)
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, readErr := io.ReadAll(resp.Body)
+	r.book(fmt.Sprintf("conform:%d", resp.StatusCode), elapsed)
 	if readErr != nil {
 		return 0, nil, readErr
 	}

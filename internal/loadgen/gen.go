@@ -1,11 +1,14 @@
 // Package loadgen is the deterministic load-generation half of the
 // serve test harness (DESIGN §11): a seeded workload generator that
-// replays mixes of /v1/normalize, /v1/check and /v1/specs requests
-// drawn from the shipped spec library, with every normalize request's
-// expected normal form computed offline (sequentially, against an
-// independent environment) before the first byte goes on the wire — the
-// specification is the oracle, in Gaudel & Le Gall's sense, and the
-// server is the implementation under test.
+// replays mixes of /v1/normalize, /v1/check, /v1/specs and /v1/conform
+// requests drawn from the shipped spec library, with every normalize
+// request's expected normal form computed offline (sequentially,
+// against an independent environment) before the first byte goes on the
+// wire — the specification is the oracle, in Gaudel & Le Gall's sense,
+// and the server is the implementation under test. Conform requests
+// drive a whole self-conformance session (DESIGN §14) per logical
+// request, so the oracle endpoint gets exercised under the same chaos
+// and reconciliation discipline as the rest of the API.
 //
 // The replay contract: the request sequence is a pure function of
 // (seed, mix, request count). Two runs with the same seed issue
@@ -32,6 +35,7 @@ const (
 	KindNormalize Kind = iota // POST /v1/normalize
 	KindCheck                 // POST /v1/check
 	KindSpecs                 // GET /v1/specs
+	KindConform               // POST /v1/conform (a full oracle session)
 )
 
 func (k Kind) String() string {
@@ -42,13 +46,18 @@ func (k Kind) String() string {
 		return "check"
 	case KindSpecs:
 		return "specs"
+	case KindConform:
+		return "conform"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
 // Request is one logical request of the workload. WantNF is the
-// offline-computed oracle for normalize requests.
+// offline-computed oracle for normalize requests. A conform request is
+// one logical unit too, even though it spends several wire exchanges
+// (open, observe rounds, close) driving a self-conformance session for
+// Spec; its oracle is the verdict itself, which must be Pass.
 type Request struct {
 	ID     int
 	Kind   Kind
@@ -62,10 +71,14 @@ type Mix struct {
 	Normalize int
 	Check     int
 	Specs     int
+	Conform   int
 }
 
 // DefaultMix is the composition `adt load` uses when -mix is not given:
-// normalization-heavy, like the service's intended traffic.
+// normalization-heavy, like the service's intended traffic. Conform
+// weighs zero by default — one conform request spends several wire
+// exchanges, so its traffic share is an explicit choice (mix
+// "conform=N").
 var DefaultMix = Mix{Normalize: 8, Check: 1, Specs: 1}
 
 // ParseMix parses "normalize=8,check=1,specs=1" (any subset; omitted
@@ -91,11 +104,13 @@ func ParseMix(s string) (Mix, error) {
 			m.Check = w
 		case "specs":
 			m.Specs = w
+		case "conform":
+			m.Conform = w
 		default:
-			return Mix{}, fmt.Errorf("loadgen: unknown mix kind %q (want normalize, check or specs)", k)
+			return Mix{}, fmt.Errorf("loadgen: unknown mix kind %q (want normalize, check, specs or conform)", k)
 		}
 	}
-	if m.Normalize+m.Check+m.Specs <= 0 {
+	if m.Normalize+m.Check+m.Specs+m.Conform <= 0 {
 		return Mix{}, fmt.Errorf("loadgen: mix %q has zero total weight", s)
 	}
 	return m, nil
@@ -104,7 +119,7 @@ func ParseMix(s string) (Mix, error) {
 // String renders the mix canonically (the report embeds it, and reports
 // must be byte-stable).
 func (m Mix) String() string {
-	return fmt.Sprintf("normalize=%d,check=%d,specs=%d", m.Normalize, m.Check, m.Specs)
+	return fmt.Sprintf("normalize=%d,check=%d,specs=%d,conform=%d", m.Normalize, m.Check, m.Specs, m.Conform)
 }
 
 // checkSource is the fixed specification uploaded by every check
@@ -161,7 +176,7 @@ func NewGenerator(seed int64, mix Mix) (*Generator, error) {
 // whole sequence is drawn up front so concurrency in the client can
 // never perturb what is asked, only when.
 func (g *Generator) Sequence(n int) []Request {
-	total := g.mix.Normalize + g.mix.Check + g.mix.Specs
+	total := g.mix.Normalize + g.mix.Check + g.mix.Specs + g.mix.Conform
 	out := make([]Request, n)
 	for i := range out {
 		req := Request{ID: i}
@@ -174,8 +189,11 @@ func (g *Generator) Sequence(n int) []Request {
 			req.WantNF = g.oracle[req.Spec][ti]
 		case w < g.mix.Normalize+g.mix.Check:
 			req.Kind = KindCheck
-		default:
+		case w < g.mix.Normalize+g.mix.Check+g.mix.Specs:
 			req.Kind = KindSpecs
+		default:
+			req.Kind = KindConform
+			req.Spec = g.specs[g.rng.Intn(len(g.specs))]
 		}
 		out[i] = req
 	}

@@ -18,10 +18,12 @@ func TestParseMix(t *testing.T) {
 		wantErr bool
 	}{
 		{"", DefaultMix, false},
-		{"normalize=8,check=1,specs=1", Mix{8, 1, 1}, false},
+		{"normalize=8,check=1,specs=1", Mix{Normalize: 8, Check: 1, Specs: 1}, false},
 		{"normalize=1", Mix{Normalize: 1}, false},
 		{" check=2 , specs=3 ", Mix{Check: 2, Specs: 3}, false},
-		{"normalize=0,check=0,specs=0", Mix{}, true},
+		{"normalize=5,check=1,specs=1,conform=3", Mix{Normalize: 5, Check: 1, Specs: 1, Conform: 3}, false},
+		{"conform=1", Mix{Conform: 1}, false},
+		{"normalize=0,check=0,specs=0,conform=0", Mix{}, true},
 		{"normalize", Mix{}, true},
 		{"normalize=-1", Mix{}, true},
 		{"fuzz=1", Mix{}, true},
@@ -39,7 +41,7 @@ func TestParseMix(t *testing.T) {
 }
 
 func TestMixStringRoundTrip(t *testing.T) {
-	m := Mix{Normalize: 5, Check: 2, Specs: 1}
+	m := Mix{Normalize: 5, Check: 2, Specs: 1, Conform: 3}
 	back, err := ParseMix(m.String())
 	if err != nil || back != m {
 		t.Fatalf("round trip of %q: got %+v, err %v", m.String(), back, err)
@@ -137,18 +139,42 @@ func TestSequenceDeterminism(t *testing.T) {
 	if reflect.DeepEqual(s1, g3.Sequence(200)) {
 		t.Fatal("different seeds produced identical sequences")
 	}
-	var kinds [3]int
+	var kinds [4]int
 	for _, req := range s1 {
 		kinds[req.Kind]++
 		if req.Kind == KindNormalize && req.WantNF == "" {
 			t.Fatalf("normalize request #%d has no oracle", req.ID)
 		}
 	}
-	// 8:1:1 over 200 draws: every kind must appear.
-	for k, n := range kinds {
+	// 8:1:1 over 200 draws: every default kind must appear, and conform
+	// (weight zero) must not.
+	for k, n := range kinds[:3] {
 		if n == 0 {
 			t.Errorf("mix kind %s never drawn in 200 requests", Kind(k))
 		}
+	}
+	if kinds[KindConform] != 0 {
+		t.Errorf("default mix drew %d conform request(s); conform weighs zero", kinds[KindConform])
+	}
+
+	// A conform-bearing mix draws conform requests, each pinned to a
+	// battery spec for its session.
+	gc, err := NewGenerator(42, Mix{Normalize: 1, Conform: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conforms := 0
+	for _, req := range gc.Sequence(100) {
+		if req.Kind != KindConform {
+			continue
+		}
+		conforms++
+		if req.Spec == "" {
+			t.Fatalf("conform request #%d names no spec", req.ID)
+		}
+	}
+	if conforms == 0 {
+		t.Error("1:1 normalize:conform mix never drew a conform request in 100 draws")
 	}
 }
 
@@ -224,6 +250,77 @@ func TestRunReportReproducible(t *testing.T) {
 	}
 	if reports[0] != reports[1] {
 		t.Fatalf("same seed, different reports:\n--- run 1 ---\n%s--- run 2 ---\n%s", reports[0], reports[1])
+	}
+}
+
+// TestRunConformMix puts conform sessions in the workload against a
+// clean server: every session must come back Pass (self-conformance),
+// every wire exchange the sessions spent must be booked, and the books
+// must still reconcile exactly against /metrics.
+func TestRunConformMix(t *testing.T) {
+	ts := startServer(t)
+	rep, err := Run(Config{
+		BaseURL:  ts.URL,
+		Seed:     11,
+		Requests: 30,
+		Workers:  2,
+		Mix:      Mix{Normalize: 4, Check: 1, Specs: 1, Conform: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK(false) {
+		t.Fatalf("conform-mix run not OK:\n%s", rep.String())
+	}
+	if rep.Success != 30 || rep.Failed != 0 {
+		t.Fatalf("conform-mix outcomes off:\n%s", rep.String())
+	}
+	// A session is several exchanges, so the conform attempt count must
+	// exceed the conform share of the logical requests.
+	if got := rep.Attempts["conform:200"]; got < 10 {
+		t.Fatalf("only %d conform exchange(s) booked; sessions did not run:\n%s", got, rep.String())
+	}
+	if !strings.Contains(rep.Mix, "conform=4") {
+		t.Fatalf("report mix %q does not carry the conform weight", rep.Mix)
+	}
+}
+
+// TestRunConformMixWithAllFaults is the chaos version: with every fault
+// point armed, conform sessions may be abandoned mid-way (422 fuel) or
+// retried verbatim (504 cancel) — but the outcome partition must hold
+// and the books must balance to the exchange against /metrics.
+func TestRunConformMixWithAllFaults(t *testing.T) {
+	ts := startServer(t)
+	plan, err := FaultPlan("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Arm(plan); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disarm()
+	rep, err := Run(Config{
+		BaseURL:     ts.URL,
+		Seed:        7,
+		Requests:    80,
+		Workers:     2,
+		Mix:         Mix{Normalize: 4, Check: 1, Specs: 1, Conform: 4},
+		FaultsArmed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK(true) {
+		t.Fatalf("faulted conform-mix run not OK:\n%s", rep.String())
+	}
+	if !rep.Reconciled() {
+		t.Fatalf("faulted conform-mix run did not reconcile:\n%s", rep.String())
+	}
+	if got := rep.Success + rep.ExpectedFault + rep.RetryExhausted + rep.Failed; got != 80 {
+		t.Fatalf("outcomes don't partition the requests: %d != 80\n%s", got, rep.String())
+	}
+	if rep.Attempts["conform:200"] == 0 {
+		t.Fatalf("no conform exchange succeeded under faults:\n%s", rep.String())
 	}
 }
 

@@ -166,6 +166,41 @@ type harness struct {
 	g    *gen.Generator
 }
 
+// Harness is the exported face of the evaluator the checks run on: it
+// evaluates ground terms through an implementation with the paper's
+// error strictness and lazy conditional, and compares values with the
+// same reified-or-observational equality CheckAxioms uses. The
+// conformance subsystem (internal/conform, driverkit) reuses it so a
+// driver, a wire session and the model checker all agree on semantics.
+type Harness struct {
+	h *harness
+}
+
+// NewHarness builds a harness over the implementation. The Config's
+// generator settings govern observational comparison (ObsDepth,
+// ObsFill) exactly as in CheckAxioms.
+func NewHarness(sp *spec.Spec, impl *Impl, cfg Config) *Harness {
+	cfg.fill()
+	return &Harness{h: &harness{sp: sp, impl: impl, cfg: cfg, g: gen.New(sp, cfg.Gen)}}
+}
+
+// Eval evaluates a ground term through the implementation (lazy if,
+// strict error). The error return means the adapter itself misbehaved,
+// not a domain error — those come back as ErrValue.
+func (h *Harness) Eval(t *term.Term) (Value, error) { return h.h.Eval(t) }
+
+// Equal compares two implementation values at a sort: reified for
+// observable sorts, observational (up to Config.ObsDepth) for hidden
+// ones.
+func (h *Harness) Equal(so sig.Sort, a, b Value) (bool, error) {
+	return h.h.equal(so, a, b, h.h.cfg.ObsDepth)
+}
+
+// Generator exposes the ground-term generator the harness draws
+// observation fills from, so callers instantiate axioms from the same
+// universe.
+func (h *Harness) Generator() *gen.Generator { return h.h.g }
+
 // errStop aborts a check when the implementation adapter itself fails.
 var errStop = errors.New("model: implementation adapter error")
 

@@ -1,0 +1,78 @@
+package refimpl_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"algspec/internal/core"
+	"algspec/internal/model"
+	"algspec/internal/refimpl"
+	"algspec/internal/speclib"
+)
+
+func loadEnv(t *testing.T) *core.Env {
+	t.Helper()
+	env := core.NewEnv()
+	env.MustLoad(speclib.Sources...)
+	files, err := filepath.Glob(filepath.Join("..", "..", "specs", "*.spec"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("globbing shipped specs: %v (%d files)", err, len(files))
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := env.Load(string(src)); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+	}
+	return env
+}
+
+var checkCfg = model.Config{Depth: 3, MaxInstancesPerAxiom: 300}
+
+// TestReferencesPass model-checks every reference implementation: the
+// axioms hold on it and it agrees with the engine on all ground
+// observer terms.
+func TestReferencesPass(t *testing.T) {
+	env := loadEnv(t)
+	for name, build := range refimpl.Builders() {
+		t.Run(name, func(t *testing.T) {
+			sp := env.MustGet(name)
+			impl := build(sp)
+			if r := model.CheckAxioms(sp, impl, checkCfg); !r.OK() {
+				t.Errorf("CheckAxioms: %s", r)
+			}
+			if r := model.CheckAgainstSpec(sp, impl, checkCfg); !r.OK() {
+				t.Errorf("CheckAgainstSpec: %s", r)
+			}
+		})
+	}
+}
+
+// TestMutantsCaught is the teeth check: every single-operation mutant of
+// every reference implementation must fail at least one of the two model
+// checks. A mutant both checks wave through would also sail through the
+// conformance endpoint — the whole subsystem would be toothless.
+func TestMutantsCaught(t *testing.T) {
+	env := loadEnv(t)
+	total := 0
+	for name := range refimpl.Builders() {
+		sp := env.MustGet(name)
+		for _, m := range refimpl.Mutants(sp) {
+			total++
+			t.Run(m.Spec+"/"+m.Op, func(t *testing.T) {
+				axOK := model.CheckAxioms(sp, m.Impl, checkCfg).OK()
+				obOK := model.CheckAgainstSpec(sp, m.Impl, checkCfg).OK()
+				if axOK && obOK {
+					t.Errorf("mutant %s.%s survived both model checks", m.Spec, m.Op)
+				}
+			})
+		}
+	}
+	if total < 12 {
+		t.Errorf("only %d mutants enumerated, want >= 12", total)
+	}
+}

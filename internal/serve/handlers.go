@@ -526,6 +526,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP adt_registry_versions Registry versions held (base library included).")
 	fmt.Fprintln(w, "# TYPE adt_registry_versions gauge")
 	fmt.Fprintf(w, "adt_registry_versions %d\n", s.reg.Len())
+	for _, c := range []struct {
+		name, help string
+		kind       string
+		val        int64
+	}{
+		{"adt_conform_sessions_opened_total", "Conformance sessions opened since boot.", "counter", s.conf.opened.Load()},
+		{"adt_conform_sessions_active", "Conformance sessions currently live (not closed, reaped or expired).", "gauge", int64(s.conf.active())},
+		{"adt_conform_sessions_expired_total", "Conformance sessions reaped by the TTL.", "counter", s.conf.expired.Load()},
+		{"adt_conform_sessions_rejected_total", "Conformance opens refused at the session cap (429).", "counter", s.conf.rejected.Load()},
+		{"adt_conform_programs_total", "Probe programs served to conformance clients (plan plus shrink candidates).", "counter", s.conf.programs.Load()},
+		{"adt_conform_pass_total", "Conformance verdicts that passed.", "counter", s.conf.pass.Load()},
+		{"adt_conform_fail_total", "Conformance verdicts that failed (counterexample returned).", "counter", s.conf.fail.Load()},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n", c.name, c.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", c.name, c.kind)
+		fmt.Fprintf(w, "%s %d\n", c.name, c.val)
+	}
 	if s.pers != nil {
 		for _, c := range []struct {
 			name, help string

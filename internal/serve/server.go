@@ -92,6 +92,7 @@ type Server struct {
 	met     *metrics
 	rec     rewrite.StatsRecorder
 	pool    *pool
+	conf    *conformState
 	mux     *http.ServeMux
 
 	snapStop chan struct{}
@@ -146,9 +147,11 @@ func New(cfg Config, extraSources ...string) (*Server, error) {
 		s.warmFromCorpus()
 	}
 	s.pool = newPool(cfg.Workers, &s.rec)
+	s.conf = newConformState()
 	s.mux = http.NewServeMux()
 	s.mux.Handle("POST /v1/normalize", s.instrument("normalize", s.handleNormalize))
 	s.mux.Handle("POST /v1/check", s.instrument("check", s.handleCheck))
+	s.mux.Handle("POST /v1/conform", s.instrument("conform", s.handleConform))
 	s.mux.Handle("POST /v1/specs", s.instrument("upload", s.handleSpecUpload))
 	s.mux.Handle("GET /v1/specs", s.instrument("specs", s.handleSpecs))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)

@@ -6,9 +6,9 @@
 package specs_test
 
 import (
-	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"algspec/internal/axtest"
@@ -17,10 +17,9 @@ import (
 	"algspec/internal/core"
 	"algspec/internal/homo"
 	"algspec/internal/model"
+	"algspec/internal/refimpl"
 	"algspec/internal/sig"
-	"algspec/internal/spec"
 	"algspec/internal/speclib"
-	"algspec/internal/term"
 )
 
 func loadAll(t *testing.T) (*core.Env, []string) {
@@ -148,324 +147,29 @@ func TestPQueueOrderIndependence(t *testing.T) {
 }
 
 // ---------------------------------------------------------------------
-// Model checking: native Go implementations of the shipped specs, tested
-// against nothing but the axioms (the paper's §5 discipline). The tiny
-// adapter kit below mirrors internal/adt/adapters without importing its
-// unexported plumbing, so this package stays a client of public APIs.
+// Model checking: the native Go reference implementations of the shipped
+// specs (internal/refimpl — also the implementations the conformance
+// endpoint's e2e suite puts on the wire), tested against nothing but the
+// axioms (the paper's §5 discipline).
 // ---------------------------------------------------------------------
 
-type opTable map[string]func(args []model.Value) (model.Value, error)
-
-func (t opTable) apply(op string, args []model.Value) (model.Value, error) {
-	f, ok := t[op]
-	if !ok {
-		return nil, fmt.Errorf("specs_test: operation %s not implemented", op)
-	}
-	return f(args)
-}
-
-func asBool(v model.Value) (bool, error) {
-	b, ok := v.(bool)
-	if !ok {
-		return false, fmt.Errorf("specs_test: want bool, got %T", v)
-	}
-	return b, nil
-}
-
-func asInt(v model.Value) (int, error) {
-	n, ok := v.(int)
-	if !ok {
-		return 0, fmt.Errorf("specs_test: want int, got %T", v)
-	}
-	return n, nil
-}
-
-func asString(v model.Value) (string, error) {
-	s, ok := v.(string)
-	if !ok {
-		return "", fmt.Errorf("specs_test: want string, got %T", v)
-	}
-	return s, nil
-}
-
-func boolOps(t opTable) {
-	t["true"] = func([]model.Value) (model.Value, error) { return true, nil }
-	t["false"] = func([]model.Value) (model.Value, error) { return false, nil }
-	t["not"] = func(a []model.Value) (model.Value, error) {
-		b, err := asBool(a[0])
-		return !b, err
-	}
-	t["and"] = func(a []model.Value) (model.Value, error) {
-		x, err := asBool(a[0])
-		if err != nil {
-			return nil, err
-		}
-		y, err := asBool(a[1])
-		return x && y, err
-	}
-	t["or"] = func(a []model.Value) (model.Value, error) {
-		x, err := asBool(a[0])
-		if err != nil {
-			return nil, err
-		}
-		y, err := asBool(a[1])
-		return x || y, err
-	}
-}
-
-func natOps(t opTable) {
-	t["zero"] = func([]model.Value) (model.Value, error) { return 0, nil }
-	t["succ"] = func(a []model.Value) (model.Value, error) {
-		n, err := asInt(a[0])
-		return n + 1, err
-	}
-	t["pred"] = func(a []model.Value) (model.Value, error) {
-		n, err := asInt(a[0])
-		if err != nil {
-			return nil, err
-		}
-		if n == 0 {
-			return model.ErrValue, nil
-		}
-		return n - 1, nil
-	}
-	t["addN"] = func(a []model.Value) (model.Value, error) {
-		m, err := asInt(a[0])
-		if err != nil {
-			return nil, err
-		}
-		n, err := asInt(a[1])
-		return m + n, err
-	}
-	t["eqN"] = func(a []model.Value) (model.Value, error) {
-		m, err := asInt(a[0])
-		if err != nil {
-			return nil, err
-		}
-		n, err := asInt(a[1])
-		return m == n, err
-	}
-	t["ltN"] = func(a []model.Value) (model.Value, error) {
-		m, err := asInt(a[0])
-		if err != nil {
-			return nil, err
-		}
-		n, err := asInt(a[1])
-		return m < n, err
-	}
-}
-
-func stdReify(sp *spec.Spec) func(so sig.Sort, v model.Value) (*term.Term, bool, error) {
-	return func(so sig.Sort, v model.Value) (*term.Term, bool, error) {
-		switch {
-		case so == sig.BoolSort:
-			b, err := asBool(v)
-			if err != nil {
-				return nil, false, err
-			}
-			return term.Bool(b), true, nil
-		case so == "Nat" && sp.Sig.HasSort("Nat"):
-			n, err := asInt(v)
-			if err != nil {
-				return nil, false, err
-			}
-			t := term.NewOp("zero", "Nat")
-			for i := 0; i < n; i++ {
-				t = term.NewOp("succ", "Nat", t)
-			}
-			return t, true, nil
-		case sp.Sig.IsAtomSort(so) || sp.Sig.IsParam(so):
-			s, err := asString(v)
-			if err != nil {
-				return nil, false, err
-			}
-			return term.NewAtom(s, so), true, nil
-		default:
-			return nil, false, nil
-		}
-	}
-}
-
-func buildImpl(sp *spec.Spec, t opTable) *model.Impl {
-	return &model.Impl{
-		SpecName: sp.Name,
-		Apply:    t.apply,
-		Atom: func(so sig.Sort, spelling string) (model.Value, error) {
-			return spelling, nil
-		},
-		Reify: stdReify(sp),
-	}
-}
-
-// counterImpl represents a Counter as the int count of net increments;
-// undo on zero is the boundary error.
-func counterImpl(sp *spec.Spec) *model.Impl {
-	t := opTable{}
-	boolOps(t)
-	natOps(t)
-	t["start"] = func([]model.Value) (model.Value, error) { return 0, nil }
-	t["inc"] = func(a []model.Value) (model.Value, error) {
-		c, err := asInt(a[0])
-		return c + 1, err
-	}
-	t["undo"] = func(a []model.Value) (model.Value, error) {
-		c, err := asInt(a[0])
-		if err != nil {
-			return nil, err
-		}
-		if c == 0 {
-			return model.ErrValue, nil
-		}
-		return c - 1, nil
-	}
-	t["value"] = func(a []model.Value) (model.Value, error) {
-		c, err := asInt(a[0])
-		return c, err
-	}
-	return buildImpl(sp, t)
-}
-
-// graphImpl represents a Graph as an (immutable) slice of directed edges
-// over Identifier spellings.
-type graphEdge struct{ from, to string }
-
-func graphImpl(sp *spec.Spec) *model.Impl {
-	t := opTable{}
-	boolOps(t)
-	t["same?"] = func(a []model.Value) (model.Value, error) {
-		x, err := asString(a[0])
-		if err != nil {
-			return nil, err
-		}
-		y, err := asString(a[1])
-		return x == y, err
-	}
-	asG := func(v model.Value) ([]graphEdge, error) {
-		g, ok := v.([]graphEdge)
-		if !ok {
-			return nil, fmt.Errorf("specs_test: want graph, got %T", v)
-		}
-		return g, nil
-	}
-	t["emptyg"] = func([]model.Value) (model.Value, error) { return []graphEdge{}, nil }
-	t["addEdge"] = func(a []model.Value) (model.Value, error) {
-		g, err := asG(a[0])
-		if err != nil {
-			return nil, err
-		}
-		from, err := asString(a[1])
-		if err != nil {
-			return nil, err
-		}
-		to, err := asString(a[2])
-		if err != nil {
-			return nil, err
-		}
-		out := make([]graphEdge, len(g), len(g)+1)
-		copy(out, g)
-		return append(out, graphEdge{from, to}), nil
-	}
-	t["hasEdge?"] = func(a []model.Value) (model.Value, error) {
-		g, err := asG(a[0])
-		if err != nil {
-			return nil, err
-		}
-		from, err := asString(a[1])
-		if err != nil {
-			return nil, err
-		}
-		to, err := asString(a[2])
-		if err != nil {
-			return nil, err
-		}
-		for _, e := range g {
-			if e.from == from && e.to == to {
-				return true, nil
-			}
-		}
-		return false, nil
-	}
-	return buildImpl(sp, t)
-}
-
-// pqueueImpl represents a PQueue as an ascending-sorted int slice
-// (a multiset: duplicates are kept).
-func pqueueImpl(sp *spec.Spec) *model.Impl {
-	t := opTable{}
-	boolOps(t)
-	natOps(t)
-	asQ := func(v model.Value) ([]int, error) {
-		q, ok := v.([]int)
-		if !ok {
-			return nil, fmt.Errorf("specs_test: want pqueue, got %T", v)
-		}
-		return q, nil
-	}
-	t["emptypq"] = func([]model.Value) (model.Value, error) { return []int{}, nil }
-	t["insertpq"] = func(a []model.Value) (model.Value, error) {
-		q, err := asQ(a[0])
-		if err != nil {
-			return nil, err
-		}
-		n, err := asInt(a[1])
-		if err != nil {
-			return nil, err
-		}
-		out := make([]int, 0, len(q)+1)
-		i := 0
-		for ; i < len(q) && q[i] <= n; i++ {
-			out = append(out, q[i])
-		}
-		out = append(out, n)
-		return append(out, q[i:]...), nil
-	}
-	t["minpq"] = func(a []model.Value) (model.Value, error) {
-		q, err := asQ(a[0])
-		if err != nil {
-			return nil, err
-		}
-		if len(q) == 0 {
-			return model.ErrValue, nil
-		}
-		return q[0], nil
-	}
-	t["deleteMin"] = func(a []model.Value) (model.Value, error) {
-		q, err := asQ(a[0])
-		if err != nil {
-			return nil, err
-		}
-		if len(q) == 0 {
-			return model.ErrValue, nil
-		}
-		out := make([]int, len(q)-1)
-		copy(out, q[1:])
-		return out, nil
-	}
-	t["isEmptyPQ?"] = func(a []model.Value) (model.Value, error) {
-		q, err := asQ(a[0])
-		return len(q) == 0, err
-	}
-	return buildImpl(sp, t)
-}
-
 // TestShippedSpecsModelCheck runs both model checks for each shipped
-// spec's Go implementation: the axioms must hold on the implementation,
-// and the implementation must agree with the symbolic interpretation on
-// every ground observer term.
+// spec's Go reference implementation: the axioms must hold on the
+// implementation, and the implementation must agree with the symbolic
+// interpretation on every ground observer term.
 func TestShippedSpecsModelCheck(t *testing.T) {
 	env, _ := loadAll(t)
-	impls := []struct {
-		spec  string
-		build func(*spec.Spec) *model.Impl
-	}{
-		{"Counter", counterImpl},
-		{"Graph", graphImpl},
-		{"PQueue", pqueueImpl},
+	builders := refimpl.Builders()
+	names := make([]string, 0, len(builders))
+	for name := range builders {
+		names = append(names, name)
 	}
-	for _, im := range impls {
-		t.Run(im.spec, func(t *testing.T) {
-			sp := env.MustGet(im.spec)
-			impl := im.build(sp)
+	sort.Strings(names)
+	for _, name := range names {
+		build := builders[name]
+		t.Run(name, func(t *testing.T) {
+			sp := env.MustGet(name)
+			impl := build(sp)
 			cfg := model.Config{Depth: 3, MaxInstancesPerAxiom: 400}
 			if r := model.CheckAxioms(sp, impl, cfg); !r.OK() {
 				t.Errorf("CheckAxioms: %s", r)
