@@ -101,6 +101,9 @@ type Plan struct {
 	// Skipped counts probes dropped because their engine normal form was
 	// not a constructor value (stuck term: nothing to compare against).
 	Skipped int
+	// Capped counts probes dropped because the batch already held
+	// PlanConfig.MaxPrograms programs.
+	Capped int
 
 	cfg        PlanConfig
 	env        *core.Env
@@ -136,7 +139,7 @@ func NewPlan(env *core.Env, sp *spec.Spec, norm Normalizer, cfg PlanConfig) (*Pl
 	seen := map[string]bool{}
 	add := func(t *term.Term, axiom string) error {
 		if len(p.Programs) >= cfg.MaxPrograms {
-			p.Skipped++
+			p.Capped++
 			return nil
 		}
 		text := t.String()
@@ -476,14 +479,23 @@ func (s *Session) Observe(obs []Observation, norm Normalizer) (done bool, next [
 		}
 	} else {
 		// Shrink round: accept the first (smallest) candidate that still
-		// fails as the new best.
+		// fails as the new best. When every candidate passes, no smaller
+		// program reproduces the failure and the verdict is in —
+		// regenerating candidates from the unchanged best would only
+		// re-serve the identical programs until the budget ran dry.
+		improved := false
 		for _, r := range results {
 			if !r.ok {
 				f := failureOf(r.prog, r.got)
 				s.best = &f
 				s.shrinkSteps++
+				improved = true
 				break
 			}
+		}
+		if !improved {
+			s.finish()
+			return true, nil, nil
 		}
 	}
 

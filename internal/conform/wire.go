@@ -98,8 +98,10 @@ type Response struct {
 	// Programs are the probes awaiting observation (empty when Done).
 	Programs []ProgramMsg `json:"programs,omitempty"`
 	// Skipped counts planned probes dropped for lack of a constructor
-	// normal form (reported on open).
+	// normal form; Capped counts probes dropped by the MaxPrograms batch
+	// cap (both reported on open).
 	Skipped int `json:"skipped,omitempty"`
+	Capped  int `json:"capped,omitempty"`
 
 	Done    bool `json:"done,omitempty"`
 	Pass    bool `json:"pass,omitempty"`
@@ -113,7 +115,8 @@ type Response struct {
 	Closed bool `json:"closed,omitempty"`
 }
 
-func failureMsg(f *Failure) *FailureMsg {
+// FailureMsgOf renders a failure for the wire (nil in, nil out).
+func FailureMsgOf(f *Failure) *FailureMsg {
 	if f == nil {
 		return nil
 	}

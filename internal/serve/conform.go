@@ -39,7 +39,10 @@ type conformSession struct {
 	sess    *conform.Session
 	spec    string
 	version string
-	expires time.Time
+	// expires is the TTL deadline in unix nanos. purge reads it under
+	// cs.mu while observes refresh it under the per-session c.mu, so it
+	// is atomic rather than guarded by either lock.
+	expires atomic.Int64
 
 	// lastRound/lastResp replay the previous answer when a client retries
 	// a round it already completed (its response was lost to a fault).
@@ -69,7 +72,7 @@ func newConformState() *conformState {
 // purge drops expired sessions; callers hold cs.mu.
 func (cs *conformState) purge(now time.Time) {
 	for id, c := range cs.sessions {
-		if now.After(c.expires) {
+		if now.UnixNano() > c.expires.Load() {
 			delete(cs.sessions, id)
 			cs.expired.Add(1)
 		}
@@ -179,8 +182,8 @@ func (s *Server) conformOpen(w http.ResponseWriter, r *http.Request, req *confor
 		sess:    conform.NewSession(plan),
 		spec:    sp.Name,
 		version: ver.ID,
-		expires: time.Now().Add(conformSessionTTL),
 	}
+	c.expires.Store(time.Now().Add(conformSessionTTL).UnixNano())
 	cs.sessions[id] = c
 	cs.mu.Unlock()
 	cs.opened.Add(1)
@@ -188,7 +191,7 @@ func (s *Server) conformOpen(w http.ResponseWriter, r *http.Request, req *confor
 
 	resp := &conform.Response{
 		Session: id, Spec: sp.Name, Version: ver.ID,
-		Round: c.sess.Round(), Skipped: plan.Skipped,
+		Round: c.sess.Round(), Skipped: plan.Skipped, Capped: plan.Capped,
 	}
 	for _, p := range plan.Programs {
 		resp.Programs = append(resp.Programs, conform.Msg(p))
@@ -257,12 +260,9 @@ func (s *Server) conformObserve(w http.ResponseWriter, r *http.Request, req *con
 		resp.FailureCount = v.FailureCount
 		resp.ShrinkSteps = v.ShrinkSteps
 		for i := range v.Failures {
-			f := v.Failures[i]
-			resp.Failures = append(resp.Failures, conform.FailureMsg{Axiom: f.Axiom, Program: f.Program, Want: f.Want, Got: f.Got})
+			resp.Failures = append(resp.Failures, *conform.FailureMsgOf(&v.Failures[i]))
 		}
-		if ce := v.Counterexample; ce != nil {
-			resp.Counterexample = &conform.FailureMsg{Axiom: ce.Axiom, Program: ce.Program, Want: ce.Want, Got: ce.Got}
-		}
+		resp.Counterexample = conform.FailureMsgOf(v.Counterexample)
 		if v.Pass {
 			s.conf.pass.Add(1)
 		} else {
@@ -277,7 +277,7 @@ func (s *Server) conformObserve(w http.ResponseWriter, r *http.Request, req *con
 	}
 	c.lastRound = req.Round
 	c.lastResp = resp
-	c.expires = time.Now().Add(conformSessionTTL)
+	c.expires.Store(time.Now().Add(conformSessionTTL).UnixNano())
 	writeJSON(w, http.StatusOK, resp)
 }
 
