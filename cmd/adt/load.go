@@ -4,12 +4,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"time"
 
 	"algspec/internal/cluster"
 	"algspec/internal/faultinject"
 	"algspec/internal/loadgen"
+	"algspec/internal/runpack"
 	"algspec/internal/serve"
 )
 
@@ -32,6 +35,7 @@ func cmdLoad(args []string, out io.Writer) error {
 	srvTimeout := fs.Duration("server-timeout", 2*time.Second, "server per-request deadline")
 	srvCache := fs.Int("server-cache", 0, "per-server normal-form cache entries (0 = default, negative = disabled)")
 	replicas := fs.Int("replicas", 0, "boot a consistent-hash cluster of N replicas behind a router and load against it (0 = single server)")
+	runpackDir := fs.String("runpack", "", "emit a verifiable run artifact into this directory (forces -workers 1; single server only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,6 +44,17 @@ func cmdLoad(args []string, out io.Writer) error {
 	}
 	if *rps <= 0 || *duration <= 0 {
 		return fmt.Errorf("load requires positive -rps and -duration")
+	}
+	if *runpackDir != "" {
+		if *replicas > 0 {
+			// A pack must be exactly replayable; the cluster router's
+			// connection-level interleaving is not part of the contract.
+			return exitf(exitUsage, "load: -runpack requires a single server (-replicas 0)")
+		}
+		// The verifiable-run contract: one client worker makes the run a
+		// pure function of (seed, mix, count, fault plan), so the pack
+		// `adt regress` replays is bit-reproducible.
+		*workers = 1
 	}
 	total := int(float64(*rps) * duration.Seconds())
 	if total < 1 {
@@ -76,6 +91,7 @@ func cmdLoad(args []string, out io.Writer) error {
 	// at the shard boundary.
 	var baseURL string
 	var cl *cluster.Local
+	var srv *serve.Server
 	if *replicas > 0 {
 		cl, err = cluster.StartLocal(*replicas, scfg, cluster.Config{})
 		if err != nil {
@@ -85,7 +101,7 @@ func cmdLoad(args []string, out io.Writer) error {
 		baseURL = cl.URL()
 		fmt.Fprintf(out, "adt load: cluster of %d replica(s) behind router %s\n", *replicas, baseURL)
 	} else {
-		srv, err := serve.New(scfg)
+		srv, err = serve.New(scfg)
 		if err != nil {
 			return err
 		}
@@ -114,9 +130,44 @@ func cmdLoad(args []string, out io.Writer) error {
 		RetryBudget: *retries,
 		FaultsArmed: len(plan) > 0,
 		SLOs:        slos,
+		Record:      *runpackDir != "",
 	})
 	if err != nil {
 		return err
+	}
+	if *runpackDir != "" {
+		// The path goes into the report exactly as typed (deterministic
+		// section; no filesystem reads), then the pack is written before
+		// the report is printed so the printed report and the pack's
+		// report.txt are the same bytes.
+		rep.RunpackPath = *runpackDir
+		metricsText, err := fetchMetrics(baseURL)
+		if err != nil {
+			return err
+		}
+		m := runpack.Manifest{
+			Kind:        runpack.KindLoad,
+			Tool:        "adt load",
+			BaseVersion: srv.Registry().Base().ID,
+			Seed:        *seed,
+			RPS:         *rps,
+			Mix:         mix.String(),
+			Workers:     *workers,
+			RetryBudget: *retries,
+			FaultsArmed: len(plan) > 0,
+			Faults:      runpack.PlanRules(plan),
+			Server: runpack.ServerConfig{
+				Workers:   *srvWorkers,
+				CacheSize: *srvCache,
+				TimeoutNS: int64(*srvTimeout),
+			},
+		}
+		if *sloSpec != "" {
+			m.SLOs = strings.Split(*sloSpec, ",")
+		}
+		if err := runpack.Write(*runpackDir, m, rep, metricsText); err != nil {
+			return err
+		}
 	}
 	fmt.Fprint(out, rep.String())
 	fmt.Fprint(out, rep.LatencySummary())
@@ -143,4 +194,23 @@ func cmdLoad(args []string, out io.Writer) error {
 		return fmt.Errorf("load run failed (see report above)")
 	}
 	return nil
+}
+
+// fetchMetrics scrapes the final /metrics snapshot for the runpack.
+// Safe after the run: /metrics is uninstrumented, so the extra scrape
+// does not skew the counters the pack records.
+func fetchMetrics(baseURL string) (string, error) {
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	return string(body), nil
 }

@@ -9,7 +9,9 @@
 //	adt trace -spec NAME [-lib] [file.spec ...] TERM ...
 //	adt verify -rep stack|list [-depth N]
 //	adt serve [-addr HOST:PORT] [-workers N] [-fuel N] [-cache N] [-timeout D] [file.spec ...]
-//	adt load [-seed N] [-duration D] [-rps N] [-mix M] [-faults F] [-slo S]
+//	adt load [-seed N] [-duration D] [-rps N] [-mix M] [-faults F] [-slo S] [-runpack DIR]
+//	adt verify-run DIR
+//	adt regress DIR
 //	adt gen-driver -spec NAME [-o DIR] [-pkg NAME] [-observe SORTS] [file.spec ...]
 //	adt conform -spec NAME [-url URL] [-impl self|ref|mutants] [file.spec ...]
 //
@@ -81,6 +83,10 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) int {
 		err = cmdServe(args[1:], out)
 	case "load":
 		err = cmdLoad(args[1:], out)
+	case "verify-run":
+		err = cmdVerifyRun(args[1:], out)
+	case "regress":
+		err = cmdRegress(args[1:], out)
 	case "gen-driver":
 		err = cmdGenDriver(args[1:], out)
 	case "conform":
@@ -135,9 +141,19 @@ subcommands:
                                      (see README "Serving specs")
   load    [-seed N] [-duration D] [-rps N] [-mix M] [-faults F]
           [-slo S] [-workers N]      seeded, oracle-checked load run against
-                                     an in-process serve instance, with
-                                     optional fault injection (see README
-                                     "Load testing and fault injection")
+          [-runpack DIR]             an in-process serve instance, with
+                                     optional fault injection; -runpack emits
+                                     a verifiable run artifact (see README
+                                     "Load testing and fault injection" and
+                                     "Verifiable runs")
+  verify-run DIR                     re-check a runpack: every digest, books
+                                     balance, metrics monotone, golden normal
+                                     forms byte-for-byte through the current
+                                     engine
+  regress DIR                        deterministically replay a load runpack
+                                     against a fresh in-process server and
+                                     diff outcomes, normal forms and step
+                                     counts against the record
   gen-driver -spec NAME [-o DIR] [-pkg NAME] [-n N] [-depth N]
           [-seed N] [-observe SORTS] [-selftest] [file ...]
                                      emit a self-contained Go conformance

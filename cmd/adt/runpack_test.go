@@ -1,0 +1,291 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"algspec/internal/faultinject"
+	"algspec/internal/loadgen"
+	"algspec/internal/runpack"
+)
+
+// emitPack runs a short fault-injected load with -runpack and returns
+// the pack directory. One client worker is forced by the flag, so the
+// pack replays exactly.
+func emitPack(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "pack")
+	code, out, errOut := runWith(t, "load",
+		"-seed", "11", "-duration", "1s", "-rps", "25", "-faults", "all",
+		"-workers", "4", // -runpack must force this back to 1
+		"-runpack", dir)
+	if code != 0 {
+		t.Fatalf("load -runpack exited %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "workers=1") {
+		t.Fatalf("-runpack did not force -workers 1:\n%s", out)
+	}
+	if !strings.Contains(out, "runpack: "+dir+"\n") {
+		t.Fatalf("report does not carry the runpack path as typed:\n%s", out)
+	}
+	return dir
+}
+
+func copyPack(t *testing.T, src string) string {
+	t.Helper()
+	dst := filepath.Join(t.TempDir(), "copy")
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// flipByte XORs one payload byte of the named pack file — the smallest
+// possible corruption. It picks a byte past the given offset that stays
+// a non-newline under the flip, so line structure is preserved and the
+// corruption is purely semantic.
+func flipByte(t *testing.T, dir, name string, offset int) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := offset; i < len(data); i++ {
+		if data[i] != '\n' && data[i]^0x02 != '\n' {
+			data[i] ^= 0x02
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+	}
+	t.Fatalf("no flippable byte in %s past offset %d", name, offset)
+}
+
+// writeServePack fabricates a minimal serve-kind pack (config plus a
+// metrics snapshot, nothing replayable).
+func writeServePack(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "servepack")
+	m := runpack.Manifest{
+		Kind: runpack.KindServe, Tool: "adt serve", BaseVersion: "sha256:00",
+		Server: runpack.ServerConfig{Workers: 2},
+	}
+	if err := runpack.Write(dir, m, nil, "adt_in_flight 0\n"); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// writeDriftPack forges a pack whose recorded step count for one
+// request disagrees with what a replay will compute. The forgery is
+// internally consistent (Write recomputes every digest over the
+// tampered record), so only the replay can expose it.
+func writeDriftPack(t *testing.T, src string) string {
+	t.Helper()
+	res, err := runpack.Read(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("source pack fails integrity: %v", res.Problems)
+	}
+	outs := append([]loadgen.RequestOutcome(nil), res.Outcomes...)
+	forgedAt := -1
+	for i, o := range outs {
+		if o.Class == loadgen.OutcomeSuccess && o.NF != "" {
+			outs[i].Steps += 7
+			forgedAt = i
+			break
+		}
+	}
+	if forgedAt < 0 {
+		t.Fatal("no successful normalize outcome to forge")
+	}
+	b := res.Books
+	rep := &loadgen.Report{
+		Workload: res.Workload, Outcomes: outs,
+		Success: b.Success, ExpectedFault: b.ExpectedFault,
+		RetryExhausted: b.RetryExhausted, Failed: b.Failed,
+		Retries: b.Retries, Attempts: b.Attempts,
+	}
+	if len(b.Faults) > 0 {
+		rep.Faults = make(map[string]faultinject.Counts, len(b.Faults))
+		for name, c := range b.Faults {
+			rep.Faults[name] = faultinject.Counts{Hits: c.Hits, Fires: c.Fires}
+		}
+	}
+	dir := filepath.Join(t.TempDir(), "drift")
+	if err := runpack.Write(dir, *res.Manifest, rep, res.Metrics); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestRunpackExitCodes pins the verify-run/regress exit-code contract,
+// mirroring TestExitCodes: 0 clean, 1 infrastructure, 2 usage, 3 a
+// pack that fails verification or a replay that drifts.
+func TestRunpackExitCodes(t *testing.T) {
+	pack := emitPack(t)
+	corrupt := copyPack(t, pack)
+	flipByte(t, corrupt, runpack.BooksFile, 40)
+
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		outHas   string
+		errHas   string
+	}{
+		{
+			name:     "verify-run clean pack",
+			args:     []string{"verify-run", pack},
+			wantCode: exitOK,
+			outHas:   "OK (load pack: 25 request(s), seed 11",
+		},
+		{
+			name:     "verify-run missing dir is infrastructure",
+			args:     []string{"verify-run", filepath.Join(pack, "no-such-subdir")},
+			wantCode: exitInfra,
+		},
+		{
+			name:     "verify-run without a dir is usage",
+			args:     []string{"verify-run"},
+			wantCode: exitUsage,
+			errHas:   "exactly one runpack directory",
+		},
+		{
+			name:     "verify-run corrupted pack fails",
+			args:     []string{"verify-run", corrupt},
+			wantCode: exitOracle,
+			outHas:   runpack.BooksFile + ":",
+		},
+		{
+			name:     "verify-run serve pack",
+			args:     []string{"verify-run", writeServePack(t)},
+			wantCode: exitOK,
+			outHas:   "OK (serve pack",
+		},
+		{
+			name:     "regress clean pack reproduces",
+			args:     []string{"regress", pack},
+			wantCode: exitOK,
+			outHas:   "reproduced exactly",
+		},
+		{
+			name:     "regress without a dir is usage",
+			args:     []string{"regress"},
+			wantCode: exitUsage,
+			errHas:   "exactly one runpack directory",
+		},
+		{
+			name:     "regress serve pack is usage",
+			args:     []string{"regress", writeServePack(t)},
+			wantCode: exitUsage,
+			errHas:   "serve pack",
+		},
+		{
+			name:     "regress corrupted pack refuses to replay",
+			args:     []string{"regress", corrupt},
+			wantCode: exitOracle,
+			errHas:   "fails integrity",
+		},
+		{
+			name:     "regress forged steps is behavioral drift",
+			args:     []string{"regress", writeDriftPack(t, pack)},
+			wantCode: exitOracle,
+			outHas:   "first divergence",
+			errHas:   "behavioral drift",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, errOut := runWith(t, tc.args...)
+			if code != tc.wantCode {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, tc.wantCode, out, errOut)
+			}
+			if tc.outHas != "" && !strings.Contains(out, tc.outHas) {
+				t.Errorf("stdout lacks %q:\n%s", tc.outHas, out)
+			}
+			if tc.errHas != "" && !strings.Contains(errOut, tc.errHas) {
+				t.Errorf("stderr lacks %q:\n%s", tc.errHas, errOut)
+			}
+		})
+	}
+}
+
+// TestRunpackCorruption flips one byte in every pack file kind and
+// requires verify-run to name the corrupted file (and, for in-file
+// corruption, the line), exit 3, and never panic. Flipping a byte of
+// digests.txt itself is detected by its own footer.
+func TestRunpackCorruption(t *testing.T) {
+	pack := emitPack(t)
+	cases := []struct {
+		file   string
+		offset int
+		names  string
+	}{
+		{runpack.ManifestFile, 40, runpack.ManifestFile + ":"},
+		{runpack.WorkloadFile, 30, runpack.WorkloadFile + ":"},
+		{runpack.ResultsFile, 30, runpack.ResultsFile + ":"},
+		{runpack.BooksFile, 30, runpack.BooksFile + ":"},
+		{runpack.ReportFile, 30, runpack.ReportFile + ":"},
+		{runpack.MetricsFile, 100, runpack.MetricsFile + ":"},
+		{runpack.DigestsFile, 30, runpack.DigestsFile + ":"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			dir := copyPack(t, pack)
+			flipByte(t, dir, tc.file, tc.offset)
+			code, out, errOut := runWith(t, "verify-run", dir)
+			if code != exitOracle {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, exitOracle, out, errOut)
+			}
+			if !strings.Contains(out, tc.names) {
+				t.Errorf("problems do not name %q:\n%s", tc.names, out)
+			}
+			// Every named problem carries a file:line location.
+			for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+				if !strings.Contains(line, ".json") && !strings.Contains(line, ".txt") && !strings.Contains(line, ".jsonl") {
+					t.Errorf("problem line without a file name: %q", line)
+				}
+			}
+		})
+	}
+}
+
+// TestReferenceRunpack gates on the committed reference artifact: the
+// current toolchain must still verify and exactly replay a pack
+// recorded by an earlier build. A failure here means the engine, the
+// spec library, or the pack format changed behavior — which is exactly
+// what this test exists to catch.
+func TestReferenceRunpack(t *testing.T) {
+	ref := filepath.Join("testdata", "runpack_ref")
+	code, out, errOut := runWith(t, "verify-run", ref)
+	if code != 0 {
+		t.Fatalf("verify-run on the reference pack exited %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	code, out, errOut = runWith(t, "regress", ref)
+	if code != 0 {
+		t.Fatalf("regress on the reference pack exited %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "reproduced exactly") {
+		t.Errorf("regress output:\n%s", out)
+	}
+}

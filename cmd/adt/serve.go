@@ -7,11 +7,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"algspec/internal/runpack"
 	"algspec/internal/serve"
 )
 
@@ -36,6 +38,7 @@ func cmdServe(args []string, out io.Writer) error {
 	persist := fs.String("persist", "", "durability directory: uploaded specs and the normal-form cache survive restarts (empty = off)")
 	snapEvery := fs.Duration("snapshot-every", 0, "background snapshot period for the persisted cache (0 = default 30s)")
 	warm := fs.Bool("warm", false, "pre-normalize the golden-conformance battery into the cache at boot")
+	runpackDir := fs.String("runpack", "", "emit a verifiable session artifact (config + final metrics snapshot) into this directory at shutdown")
 	files, err := parseInterleaved(fs, args)
 	if err != nil {
 		return err
@@ -100,6 +103,32 @@ func cmdServe(args []string, out io.Writer) error {
 	}
 	if err := <-done; err != nil {
 		return err
+	}
+	if *runpackDir != "" {
+		// The listener is closed but the handler still answers: scrape
+		// the final /metrics in-process and seal the session artifact.
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		m := runpack.Manifest{
+			Kind:        runpack.KindServe,
+			Tool:        "adt serve",
+			BaseVersion: srv.Registry().Base().ID,
+			Server: runpack.ServerConfig{
+				Workers:   *workers,
+				Fuel:      *fuel,
+				CacheSize: *cacheSize,
+				TimeoutNS: int64(*timeout),
+			},
+		}
+		for _, v := range srv.Registry().Versions() {
+			if v.ID != m.BaseVersion {
+				m.Versions = append(m.Versions, v.ID)
+			}
+		}
+		if err := runpack.Write(*runpackDir, m, nil, rec.Body.String()); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "adt serve: runpack written to %s\n", *runpackDir)
 	}
 	fmt.Fprintln(out, "adt serve: shut down cleanly")
 	return nil

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -52,6 +53,18 @@ type Config struct {
 	FaultsArmed bool
 	// SLOs are the latency objectives to assert, if any.
 	SLOs []SLO
+	// Workload, when non-nil, replays exactly these requests (in order)
+	// instead of generating a sequence from (Seed, Mix, Requests). The
+	// requests carry their own oracles, so no offline oracle pass runs.
+	// Seed still seeds the retry-backoff jitter and Mix still labels the
+	// report; `adt regress` feeds both from a runpack manifest so a
+	// replay renders books comparable to the recorded run's.
+	Workload []Request
+	// Record, when true, collects one RequestOutcome per logical request
+	// into Report.Outcomes (sorted by request ID). Runpack emission and
+	// replay both need the per-request view; plain load runs skip the
+	// bookkeeping.
+	Record bool
 }
 
 // Run executes the workload and returns the reconciled report. The
@@ -71,11 +84,17 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Mix == (Mix{}) {
 		cfg.Mix = DefaultMix
 	}
-	gen, err := NewGenerator(cfg.Seed, cfg.Mix)
-	if err != nil {
-		return nil, err
+	var reqs []Request
+	if cfg.Workload != nil {
+		reqs = cfg.Workload
+		cfg.Requests = len(reqs)
+	} else {
+		gen, err := NewGenerator(cfg.Seed, cfg.Mix)
+		if err != nil {
+			return nil, err
+		}
+		reqs = gen.Sequence(cfg.Requests)
 	}
-	reqs := gen.Sequence(cfg.Requests)
 
 	r := &runner{
 		cfg: cfg,
@@ -92,7 +111,14 @@ func Run(cfg Config) (*Report, error) {
 		},
 		attempts: make(map[string]int64),
 	}
-	if cfg.Mix.Conform > 0 {
+	needConform := cfg.Mix.Conform > 0
+	for _, q := range reqs {
+		if q.Kind == KindConform {
+			needConform = true
+			break
+		}
+	}
+	if needConform {
 		// The conform evaluators answer the server's probe programs with
 		// an offline engine of their own — self-conformance, so the only
 		// acceptable verdict is Pass. The environment is shared (Env locks
@@ -145,6 +171,11 @@ func Run(cfg Config) (*Report, error) {
 		FailureSamples: r.failures,
 		Latencies:      r.latencies,
 	}
+	if cfg.Record {
+		sort.Slice(r.outcomes, func(i, j int) bool { return r.outcomes[i].ID < r.outcomes[j].ID })
+		rep.Outcomes = r.outcomes
+		rep.Workload = reqs
+	}
 	if cfg.FaultsArmed {
 		rep.Faults = faultinject.Snapshot()
 	}
@@ -168,11 +199,25 @@ type runner struct {
 	attempts       map[string]int64
 	latencies      []time.Duration
 	failures       []string
+	outcomes       []RequestOutcome
 	success        int64
 	expectedFault  int64
 	retryExhausted int64
 	failed         int64
 	retries        int64
+}
+
+// record books one logical request's terminal outcome for the
+// per-request view (no-op unless Config.Record).
+func (r *runner) record(req Request, class string, status int, nf string, steps int) {
+	if !r.cfg.Record {
+		return
+	}
+	r.mu.Lock()
+	r.outcomes = append(r.outcomes, RequestOutcome{
+		ID: req.ID, Class: class, Status: status, NF: nf, Steps: steps,
+	})
+	r.mu.Unlock()
 }
 
 // execute drives one logical request through its attempt/retry loop and
@@ -199,10 +244,13 @@ func (r *runner) execute(req Request) {
 			// flag it if the server half-saw the request.
 			retryable = true
 		case status == http.StatusOK:
-			if vErr := r.verify(req, body); vErr != nil {
+			nf, steps, vErr := r.verify(req, body)
+			if vErr != nil {
 				r.fail(fmt.Sprintf("%s #%d: %v", req.Kind, req.ID, vErr))
+				r.record(req, OutcomeFailed, status, nf, steps)
 			} else {
 				r.bump(&r.success)
+				r.record(req, OutcomeSuccess, status, nf, steps)
 			}
 			return
 		case status == http.StatusUnprocessableEntity && r.cfg.FaultsArmed:
@@ -210,6 +258,7 @@ func (r *runner) execute(req Request) {
 			// attempt-schedule, so it is a terminal expected outcome, not
 			// a retry.
 			r.bump(&r.expectedFault)
+			r.record(req, OutcomeExpectedFault, status, "", 0)
 			return
 		case status == http.StatusServiceUnavailable || status == http.StatusGatewayTimeout:
 			// Saturation or a (possibly injected) deadline: transient by
@@ -217,6 +266,7 @@ func (r *runner) execute(req Request) {
 			retryable = true
 		default:
 			r.fail(fmt.Sprintf("%s #%d: unexpected status %d: %s", req.Kind, req.ID, status, clipBody(body)))
+			r.record(req, OutcomeFailed, status, "", 0)
 			return
 		}
 		if !retryable {
@@ -224,6 +274,7 @@ func (r *runner) execute(req Request) {
 		}
 		if attempt >= r.cfg.RetryBudget {
 			r.bump(&r.retryExhausted)
+			r.record(req, OutcomeRetryExhausted, status, "", 0)
 			return
 		}
 		r.bump(&r.retries)
@@ -295,6 +346,7 @@ func (r *runner) executeConform(req Request) {
 	eval, err := conform.NewEngineClient(r.conformEnv, req.Spec)
 	if err != nil {
 		r.fail(fmt.Sprintf("%s #%d: building evaluator: %v", req.Kind, req.ID, err))
+		r.record(req, OutcomeFailed, 0, "", 0)
 		return
 	}
 	jitter := rand.New(rand.NewSource(r.cfg.Seed ^ (int64(req.ID)+1)*0x5DEECE66D))
@@ -343,15 +395,20 @@ func (r *runner) executeConform(req Request) {
 	switch {
 	case errors.Is(err, errExpectedFault):
 		r.bump(&r.expectedFault)
+		r.record(req, OutcomeExpectedFault, http.StatusUnprocessableEntity, "", 0)
 	case errors.Is(err, errRetryExhausted):
 		r.bump(&r.retryExhausted)
+		r.record(req, OutcomeRetryExhausted, 0, "", 0)
 	case err != nil:
 		r.fail(fmt.Sprintf("%s #%d: %v", req.Kind, req.ID, err))
+		r.record(req, OutcomeFailed, 0, "", 0)
 	case !v.Pass:
 		r.fail(fmt.Sprintf("%s #%d: engine failed self-conformance on %s: %d of %d probe(s) disagree",
 			req.Kind, req.ID, req.Spec, v.FailureCount, v.Checked))
+		r.record(req, OutcomeFailed, http.StatusOK, "", 0)
 	default:
 		r.bump(&r.success)
+		r.record(req, OutcomeSuccess, http.StatusOK, "", 0)
 	}
 }
 
@@ -383,36 +440,40 @@ func (r *runner) conformExchange(creq *conform.Request) (status int, body []byte
 	return resp.StatusCode, body, nil
 }
 
-// verify checks a 200 body against the request's oracle.
-func (r *runner) verify(req Request, body []byte) error {
+// verify checks a 200 body against the request's oracle. For normalize
+// requests it also returns the served normal form and step count —
+// recorded even on an oracle mismatch, so a runpack diff can name what
+// the server actually answered.
+func (r *runner) verify(req Request, body []byte) (nf string, steps int, err error) {
 	switch req.Kind {
 	case KindNormalize:
 		var resp serve.NormalizeResponse
 		if err := json.Unmarshal(body, &resp); err != nil {
-			return fmt.Errorf("bad normalize body: %w", err)
+			return "", 0, fmt.Errorf("bad normalize body: %w", err)
 		}
 		if resp.NormalForm != req.WantNF {
-			return fmt.Errorf("%s %q normalized to %q, oracle says %q",
+			return resp.NormalForm, resp.Steps, fmt.Errorf("%s %q normalized to %q, oracle says %q",
 				req.Spec, req.Term, resp.NormalForm, req.WantNF)
 		}
+		return resp.NormalForm, resp.Steps, nil
 	case KindCheck:
 		var resp serve.CheckResponse
 		if err := json.Unmarshal(body, &resp); err != nil {
-			return fmt.Errorf("bad check body: %w", err)
+			return "", 0, fmt.Errorf("bad check body: %w", err)
 		}
 		if !resp.OK || len(resp.Specs) != 1 {
-			return fmt.Errorf("probe spec failed its checks: %s", clipBody(body))
+			return "", 0, fmt.Errorf("probe spec failed its checks: %s", clipBody(body))
 		}
 	default:
 		var resp serve.SpecsResponse
 		if err := json.Unmarshal(body, &resp); err != nil {
-			return fmt.Errorf("bad specs body: %w", err)
+			return "", 0, fmt.Errorf("bad specs body: %w", err)
 		}
 		if len(resp.Specs) == 0 {
-			return fmt.Errorf("specs listing came back empty")
+			return "", 0, fmt.Errorf("specs listing came back empty")
 		}
 	}
-	return nil
+	return "", 0, nil
 }
 
 func (r *runner) book(key string, d time.Duration) {
@@ -441,6 +502,20 @@ func (r *runner) fail(msg string) {
 // Prometheus text page.
 var requestsTotalRe = regexp.MustCompile(`(?m)^adt_requests_total\{endpoint="([a-z]+)",code="(\d+)"\} (\d+)$`)
 
+// ParseRequestsTotal reads every adt_requests_total sample off a
+// Prometheus text page into the same "endpoint:code" keys the client
+// books attempts under. Shared by the live reconciliation below and by
+// `adt verify-run`, which re-checks a recorded metrics snapshot against
+// a runpack's books.
+func ParseRequestsTotal(page string) map[string]int64 {
+	server := make(map[string]int64)
+	for _, m := range requestsTotalRe.FindAllStringSubmatch(page, -1) {
+		v, _ := strconv.ParseInt(m[3], 10, 64)
+		server[m[1]+":"+m[2]] = v
+	}
+	return server
+}
+
 // reconcile fetches GET /metrics (uninstrumented on the server, so the
 // scrape itself never skews the books) and checks that the server's
 // per-(endpoint, code) request counters match the client's attempt
@@ -457,11 +532,7 @@ func (r *runner) reconcile(rep *Report) error {
 	if err != nil {
 		return fmt.Errorf("loadgen: reading /metrics: %w", err)
 	}
-	server := make(map[string]int64)
-	for _, m := range requestsTotalRe.FindAllStringSubmatch(string(page), -1) {
-		v, _ := strconv.ParseInt(m[3], 10, 64)
-		server[m[1]+":"+m[2]] = v
-	}
+	server := ParseRequestsTotal(string(page))
 	for _, key := range SortedKeys(rep.Attempts) {
 		want := rep.Attempts[key]
 		if strings.HasSuffix(key, ":transport-error") {

@@ -14,11 +14,40 @@ import (
 // fault plan) at one client worker — that is the replay contract the
 // acceptance test pins. Latencies and SLO verdicts are wall-clock and
 // live in LatencySummary instead.
+// Outcome classes: every logical request terminates in exactly one.
+// The strings are the spelling runpack results files record, so they
+// are part of the artifact format and must stay stable.
+const (
+	OutcomeSuccess        = "success"
+	OutcomeExpectedFault  = "expected-fault"
+	OutcomeRetryExhausted = "retry-exhausted"
+	OutcomeFailed         = "failed"
+)
+
+// RequestOutcome is one logical request's terminal outcome, recorded
+// when Config.Record is set. Status is the last HTTP status seen (0
+// when every attempt died in transport); NF and Steps are filled only
+// for normalize requests that got a 200 — including oracle mismatches,
+// where NF is what the server actually answered.
+type RequestOutcome struct {
+	ID     int    `json:"id"`
+	Class  string `json:"class"`
+	Status int    `json:"status"`
+	NF     string `json:"nf,omitempty"`
+	Steps  int    `json:"steps,omitempty"`
+}
+
 type Report struct {
 	Seed     int64
 	Requests int
 	Mix      string
 	Workers  int
+
+	// RunpackPath is the artifact directory this run was asked to emit
+	// (empty otherwise). It is printed in the seed-reproducible section —
+	// the flag value as typed, never absolutized — so report diffs stay
+	// deterministic.
+	RunpackPath string
 
 	// Outcomes partition the logical requests exhaustively:
 	// Success + ExpectedFault + RetryExhausted + Failed == Requests.
@@ -46,6 +75,13 @@ type Report struct {
 	// FailureSamples holds the first few failure descriptions, for
 	// diagnosis.
 	FailureSamples []string
+
+	// Outcomes is the per-request view (sorted by request ID) and
+	// Workload the exact request sequence that produced it; both are
+	// populated only under Config.Record, for runpack emission and
+	// replay diffing.
+	Outcomes []RequestOutcome
+	Workload []Request
 
 	// Latencies are per-attempt wall-clock durations (unsorted).
 	Latencies []time.Duration
@@ -86,6 +122,12 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "load report (seed-reproducible)\n")
 	fmt.Fprintf(&b, "  workload: seed=%d requests=%d mix=%s workers=%d\n", r.Seed, r.Requests, r.Mix, r.Workers)
+	if r.RunpackPath != "" {
+		// The path as typed on the command line: part of the
+		// deterministic section, so it must not read the filesystem or
+		// the clock (no absolutizing, no timestamps).
+		fmt.Fprintf(&b, "  runpack: %s\n", r.RunpackPath)
+	}
 	fmt.Fprintf(&b, "  outcomes: success=%d expected-fault=%d retry-exhausted=%d failed=%d\n",
 		r.Success, r.ExpectedFault, r.RetryExhausted, r.Failed)
 	fmt.Fprintf(&b, "  retries: %d\n", r.Retries)

@@ -1,0 +1,87 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"algspec/internal/faultinject"
+)
+
+// TestReportGoldenLayout pins the seed-reproducible report section byte
+// for byte. The layout is load-bearing twice over: CI's seed-replay
+// check diffs two renderings of it, and `adt regress` compares a
+// replayed run's books against a runpack's recorded report. In
+// particular the runpack path must appear here — in the deterministic
+// section, exactly as typed — and never in the wall-clock latency block.
+func TestReportGoldenLayout(t *testing.T) {
+	rep := &Report{
+		Seed:        42,
+		Requests:    5,
+		Mix:         Mix{Normalize: 8, Check: 1, Specs: 1}.String(),
+		Workers:     1,
+		RunpackPath: "out/pack",
+
+		Success:       3,
+		ExpectedFault: 1,
+		Failed:        1,
+		Retries:       2,
+		Attempts: map[string]int64{
+			"normalize:200": 3,
+			"normalize:422": 1,
+			"check:200":     1,
+			"specs:200":     1,
+		},
+		Faults: map[string]faultinject.Counts{
+			"rewrite.fuel":        {Hits: 502, Fires: 2},
+			"serve.handler.delay": {Hits: 7, Fires: 0},
+		},
+		FailureSamples: []string{"normalize #4: unexpected status 418: teapot"},
+	}
+	const want = `load report (seed-reproducible)
+  workload: seed=42 requests=5 mix=normalize=8,check=1,specs=1,conform=0 workers=1
+  runpack: out/pack
+  outcomes: success=3 expected-fault=1 retry-exhausted=0 failed=1
+  retries: 2
+  attempts:
+    check:200                    1
+    normalize:200                3
+    normalize:422                1
+    specs:200                    1
+  faults:
+    rewrite.fuel                 hits=502 fires=2
+    serve.handler.delay          hits=7 fires=0
+  reconciliation: OK (client attempts match /metrics exactly)
+  failure: normalize #4: unexpected status 418: teapot
+`
+	if got := rep.String(); got != want {
+		t.Errorf("report layout drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Without a runpack the line is absent entirely (no blank placeholder).
+	rep.RunpackPath = ""
+	const wantNoPack = `load report (seed-reproducible)
+  workload: seed=42 requests=5 mix=normalize=8,check=1,specs=1,conform=0 workers=1
+  outcomes: success=3 expected-fault=1 retry-exhausted=0 failed=1
+`
+	got := rep.String()
+	if len(got) < len(wantNoPack) || got[:len(wantNoPack)] != wantNoPack {
+		t.Errorf("report without runpack drifted:\n--- got ---\n%s--- want prefix ---\n%s", got, wantNoPack)
+	}
+
+	// The wall-clock section must never mention the runpack: its home is
+	// the deterministic section only.
+	rep.RunpackPath = "out/pack"
+	rep.Latencies = []time.Duration{time.Millisecond}
+	if ls := rep.LatencySummary(); contains(ls, "runpack") {
+		t.Errorf("latency summary mentions the runpack path:\n%s", ls)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

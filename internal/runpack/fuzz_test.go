@@ -1,0 +1,63 @@
+package runpack
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzRunpackManifest hardens the one parser in the pack format that
+// consumes attacker-shaped bytes before any digest has been checked
+// (the manifest decides which files the digest check even covers).
+// ParseManifest must never panic, and an accepted manifest must be
+// structurally valid and survive a marshal/reparse roundtrip unchanged.
+func FuzzRunpackManifest(f *testing.F) {
+	valid, err := json.Marshal(&Manifest{
+		Format: FormatVersion, Kind: KindLoad, Tool: "adt load",
+		Seed: 11, Requests: 30, RPS: 30, Mix: "normalize=8,check=1,specs=1,conform=0",
+		Workers: 1, RetryBudget: 3, FaultsArmed: true,
+		Faults: map[string]FaultRule{"serve.handler.delay": {Every: 13, DelayNS: 2_000_000}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{"format":"adt-runpack v1","kind":"serve","tool":"adt serve"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"format":"adt-runpack v1","kind":"load","mix":"normalize=1","faults":{"x":{"every":0}}}`))
+	f.Add([]byte(`{"format":"adt-runpack v2","kind":"load"}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err != nil {
+			if m != nil {
+				t.Fatalf("error %v with non-nil manifest", err)
+			}
+			return
+		}
+		if m.Format != FormatVersion {
+			t.Fatalf("accepted format %q", m.Format)
+		}
+		if m.Kind != KindLoad && m.Kind != KindServe {
+			t.Fatalf("accepted kind %q", m.Kind)
+		}
+		for name, r := range m.Faults {
+			if r.Every == 0 || r.DelayNS < 0 {
+				t.Fatalf("accepted invalid fault rule %q: %+v", name, r)
+			}
+		}
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted manifest does not remarshal: %v", err)
+		}
+		m2, err := ParseManifest(out)
+		if err != nil {
+			t.Fatalf("remarshaled manifest rejected: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("roundtrip changed the manifest:\n%+v\n%+v", m, m2)
+		}
+	})
+}

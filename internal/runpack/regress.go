@@ -1,0 +1,178 @@
+package runpack
+
+import (
+	"fmt"
+
+	"algspec/internal/faultinject"
+	"algspec/internal/loadgen"
+)
+
+// RegressConfig tells Regress where to replay.
+type RegressConfig struct {
+	// BaseURL is the live server to replay the workload against — a
+	// fresh in-process server booted with the manifest's ServerConfig.
+	BaseURL string
+	// CurrentBaseVersion is the serving registry's base version id; when
+	// it differs from the recorded one and drift is found, the diff says
+	// so (the usual cause: the embedded spec library changed).
+	CurrentBaseVersion string
+}
+
+// Diff is the outcome of a replay comparison. Identical means the
+// replayed run reproduced the recorded run exactly — same outcome
+// partition, same normal forms and step counts per request, same
+// attempt books and fault-point activity. Otherwise Lines name the
+// differences, the first divergent request first.
+type Diff struct {
+	Identical bool
+	Lines     []string
+	// Note carries context that is not itself drift (e.g. a changed
+	// library version id); empty when there is nothing to say.
+	Note string
+	// Replayed is the replay's report, for callers that want the books.
+	Replayed *loadgen.Report
+}
+
+// maxDiffLines keeps the drift report minimal: the first divergence is
+// always named in full, the rest is summarized.
+const maxDiffLines = 20
+
+// Regress deterministically replays a load pack's workload against the
+// server at cfg.BaseURL — same request sequence, same seed (feeding the
+// retry-backoff jitter), same fault schedule armed fresh, one client
+// worker — and diffs the outcome against the pack's record. The pack
+// must already have been read (and found integrity-clean) via Read or
+// Verify. The error return is infrastructure only (the replay itself
+// could not run); behavioral drift is the Diff.
+func Regress(res *Result, cfg RegressConfig) (*Diff, error) {
+	m := res.Manifest
+	if m == nil || m.Kind != KindLoad {
+		return nil, fmt.Errorf("runpack: only a load pack can be replayed")
+	}
+	mix, err := loadgen.ParseMix(m.Mix)
+	if err != nil {
+		return nil, fmt.Errorf("runpack: manifest mix: %w", err)
+	}
+
+	// Arm the recorded fault schedule for the duration of the replay.
+	// Arm resets every per-point counter, so the Nth request hits the
+	// same injected fault as it did when the pack was recorded.
+	if plan := m.FaultPlan(); len(plan) > 0 {
+		faultinject.Arm(plan)
+		defer faultinject.Disarm()
+	}
+
+	rep, err := loadgen.Run(loadgen.Config{
+		BaseURL:     cfg.BaseURL,
+		Seed:        m.Seed,
+		RPS:         0, // replay flat out; pacing is wall-clock, not behavior
+		Mix:         mix,
+		Workers:     1, // the verifiable-run contract: one worker, exact replay
+		RetryBudget: m.RetryBudget,
+		FaultsArmed: m.FaultsArmed,
+		Workload:    res.Workload,
+		Record:      true,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Diff{Replayed: rep}
+	var lines []string
+	addf := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+
+	// Per-request comparison first: the first divergent request is the
+	// most useful fact in the whole diff (it names the spec and term
+	// where behavior forked).
+	diverged := 0
+	for i := range res.Outcomes {
+		if i >= len(rep.Outcomes) {
+			addf("replay produced %d outcome(s) for %d recorded", len(rep.Outcomes), len(res.Outcomes))
+			break
+		}
+		rec, got := res.Outcomes[i], rep.Outcomes[i]
+		if rec == got {
+			continue
+		}
+		diverged++
+		if diverged == 1 {
+			req := loadgen.Request{ID: rec.ID}
+			if i < len(res.Workload) {
+				req = res.Workload[i]
+			}
+			addf("first divergence: request #%d (%s %s %q)", req.ID, req.Kind, req.Spec, req.Term)
+			addf("  recorded: %s", describeOutcome(rec))
+			addf("  replayed: %s", describeOutcome(got))
+		}
+	}
+	if diverged > 1 {
+		addf("%d of %d request(s) diverged in total", diverged, len(res.Outcomes))
+	}
+
+	// The aggregate books: outcome partition, retries, attempt counts,
+	// fault-point activity.
+	if b := res.Books; b != nil {
+		for _, c := range []struct {
+			name     string
+			rec, got int64
+		}{
+			{"success", b.Success, rep.Success},
+			{"expected-fault", b.ExpectedFault, rep.ExpectedFault},
+			{"retry-exhausted", b.RetryExhausted, rep.RetryExhausted},
+			{"failed", b.Failed, rep.Failed},
+			{"retries", b.Retries, rep.Retries},
+		} {
+			if c.rec != c.got {
+				addf("%s: recorded %d, replayed %d", c.name, c.rec, c.got)
+			}
+		}
+		for _, key := range unionKeys(b.Attempts, rep.Attempts) {
+			if b.Attempts[key] != rep.Attempts[key] {
+				addf("attempts %s: recorded %d, replayed %d", key, b.Attempts[key], rep.Attempts[key])
+			}
+		}
+		recFaults := b.Faults
+		for _, name := range unionKeys(recFaults, rep.Faults) {
+			rec := recFaults[name]
+			got := FaultCounts{Hits: rep.Faults[name].Hits, Fires: rep.Faults[name].Fires}
+			if rec != got {
+				addf("fault %s: recorded hits=%d fires=%d, replayed hits=%d fires=%d",
+					name, rec.Hits, rec.Fires, got.Hits, got.Fires)
+			}
+		}
+	}
+
+	if len(lines) > maxDiffLines {
+		dropped := len(lines) - maxDiffLines
+		lines = append(lines[:maxDiffLines], fmt.Sprintf("... and %d more difference(s)", dropped))
+	}
+	d.Lines = lines
+	d.Identical = len(lines) == 0
+	if !d.Identical && cfg.CurrentBaseVersion != "" && cfg.CurrentBaseVersion != m.BaseVersion {
+		d.Note = fmt.Sprintf("note: spec library changed since the pack was recorded (recorded %s, serving %s)",
+			m.BaseVersion, cfg.CurrentBaseVersion)
+	}
+	return d, nil
+}
+
+func describeOutcome(o loadgen.RequestOutcome) string {
+	s := fmt.Sprintf("%s status=%d", o.Class, o.Status)
+	if o.NF != "" {
+		s += fmt.Sprintf(" nf=%q steps=%d", o.NF, o.Steps)
+	}
+	return s
+}
+
+// unionKeys returns the sorted union of both maps' keys.
+func unionKeys[A, B any](a map[string]A, b map[string]B) []string {
+	seen := make(map[string]struct{}, len(a)+len(b))
+	for k := range a {
+		seen[k] = struct{}{}
+	}
+	for k := range b {
+		seen[k] = struct{}{}
+	}
+	return loadgen.SortedKeys(seen)
+}

@@ -1,0 +1,371 @@
+// Package runpack turns a load run into a verifiable artifact — the
+// paper's claim that an algebraic specification is a complete,
+// implementation-independent description of behavior, applied to the
+// system's own test runs. A runpack is a directory holding everything
+// needed to re-check a run without trusting the process that produced
+// it: the manifest (tool, spec-library version, seed, mix, fault
+// schedule, SLO config), the exact workload battery with its golden
+// normal forms, the per-request outcomes, the reconciliation books, the
+// final /metrics snapshot, and a digest footer covering every line of
+// every file (the persist.go conventions: truncated per-line SHA-256
+// digests plus a whole-pack SHA-256).
+//
+// Three operations stand on the format:
+//
+//   - Write (via `adt load -runpack` / `adt serve -runpack`) emits a pack.
+//   - Verify (`adt verify-run`) re-checks every digest and the pack's
+//     internal consistency — books balance, metrics monotone, golden NFs
+//     re-normalize byte-for-byte through the current engine.
+//   - Regress (`adt regress`) deterministically replays the recorded
+//     workload against a live server (same seed, same fault schedule,
+//     one client worker) and diffs outcome partitions, normal forms and
+//     step counts against the record.
+//
+// The determinism that makes replay exact is the loadgen replay
+// contract: at one client worker, a run is a pure function of (workload,
+// fault plan, retry budget, server config). `-runpack` therefore forces
+// `-workers 1` — a verifiable run is a deterministic run.
+package runpack
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"algspec/internal/faultinject"
+	"algspec/internal/loadgen"
+)
+
+// FormatVersion names the artifact format; the manifest's format field
+// must match exactly, so a pack from a future incompatible layout is
+// rejected with a clear message instead of misparsed.
+const FormatVersion = "adt-runpack v1"
+
+// Pack kinds: a load pack records a full workload and is replayable; a
+// serve pack records a serving session's configuration and final
+// metrics snapshot (nothing to replay, but still integrity-checked).
+const (
+	KindLoad  = "load"
+	KindServe = "serve"
+)
+
+// The pack's file set, in canonical digest-footer order. Serve packs
+// carry only ManifestFile and MetricsFile.
+const (
+	ManifestFile = "manifest.json"
+	WorkloadFile = "workload.jsonl"
+	ResultsFile  = "results.jsonl"
+	BooksFile    = "books.json"
+	ReportFile   = "report.txt"
+	MetricsFile  = "metrics.txt"
+	DigestsFile  = "digests.txt"
+)
+
+const (
+	digestsHeader = "adt-runpack-digests v1"
+	digestsFooter = "sha256 "
+)
+
+// packFiles is the canonical file order for a kind — the order entries
+// appear in the digest footer.
+func packFiles(kind string) []string {
+	if kind == KindServe {
+		return []string{ManifestFile, MetricsFile}
+	}
+	return []string{ManifestFile, WorkloadFile, ResultsFile, BooksFile, ReportFile, MetricsFile}
+}
+
+// FaultRule is one armed fault point's schedule, as recorded in the
+// manifest. Delay is serialized in nanoseconds so the manifest stays
+// free of locale- or formatting-dependent spellings.
+type FaultRule struct {
+	Every   uint64 `json:"every"`
+	DelayNS int64  `json:"delay_ns,omitempty"`
+}
+
+// FaultCounts is one fault point's recorded activity.
+type FaultCounts struct {
+	Hits  uint64 `json:"hits"`
+	Fires uint64 `json:"fires"`
+}
+
+// ServerConfig records the serve.Config the run was loaded against —
+// the flag values as given (zero = documented default), which is what a
+// replay must pass to serve.New to reproduce behavior.
+type ServerConfig struct {
+	Workers   int   `json:"workers"`
+	Fuel      int   `json:"fuel"`
+	CacheSize int   `json:"cache_size"`
+	TimeoutNS int64 `json:"timeout_ns"`
+}
+
+// Manifest is the pack's self-description: everything a verifier or a
+// replayer needs to know about how the run was produced. Field order is
+// the serialized order (encoding/json preserves struct order), so
+// manifests are diffable.
+type Manifest struct {
+	Format string `json:"format"` // FormatVersion
+	Kind   string `json:"kind"`   // KindLoad or KindServe
+	Tool   string `json:"tool"`
+
+	// BaseVersion is the content-addressed id of the spec library the
+	// run served (registry base version); Versions lists uploads beyond
+	// it, if any.
+	BaseVersion string   `json:"base_version"`
+	Versions    []string `json:"versions,omitempty"`
+
+	// The workload identity (load packs): the request sequence is a pure
+	// function of (Seed, Mix, Requests).
+	Seed        int64  `json:"seed"`
+	Requests    int    `json:"requests"`
+	RPS         int    `json:"rps"`
+	Mix         string `json:"mix"`
+	Workers     int    `json:"workers"`
+	RetryBudget int    `json:"retry_budget"`
+
+	// The chaos and SLO configuration.
+	FaultsArmed bool                 `json:"faults_armed"`
+	Faults      map[string]FaultRule `json:"faults,omitempty"`
+	SLOs        []string             `json:"slos,omitempty"`
+
+	Server ServerConfig `json:"server"`
+}
+
+// ParseManifest decodes and structurally validates a manifest. It never
+// panics on arbitrary input (FuzzRunpackManifest pins that); the error
+// names what is wrong.
+func ParseManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("manifest does not parse: %w", err)
+	}
+	if m.Format != FormatVersion {
+		return nil, fmt.Errorf("manifest format %q unrecognized (want %q)", m.Format, FormatVersion)
+	}
+	if m.Kind != KindLoad && m.Kind != KindServe {
+		return nil, fmt.Errorf("manifest kind %q unrecognized (want %q or %q)", m.Kind, KindLoad, KindServe)
+	}
+	if m.Kind == KindLoad {
+		if m.Requests < 0 {
+			return nil, fmt.Errorf("manifest requests %d negative", m.Requests)
+		}
+		if _, err := loadgen.ParseMix(m.Mix); err != nil {
+			return nil, fmt.Errorf("manifest mix: %w", err)
+		}
+		if m.RetryBudget < 0 {
+			return nil, fmt.Errorf("manifest retry_budget %d negative", m.RetryBudget)
+		}
+	}
+	for name, r := range m.Faults {
+		if r.Every == 0 {
+			return nil, fmt.Errorf("manifest fault %q has cadence 0 (a dormant rule records nothing)", name)
+		}
+		if r.DelayNS < 0 {
+			return nil, fmt.Errorf("manifest fault %q has negative delay", name)
+		}
+	}
+	return &m, nil
+}
+
+// FaultPlan rebuilds the faultinject plan the manifest records, for
+// replay under the identical schedule.
+func (m *Manifest) FaultPlan() faultinject.Plan {
+	if len(m.Faults) == 0 {
+		return nil
+	}
+	plan := make(faultinject.Plan, len(m.Faults))
+	for name, r := range m.Faults {
+		plan[name] = faultinject.Rule{Every: r.Every, Delay: time.Duration(r.DelayNS)}
+	}
+	return plan
+}
+
+// PlanRules converts an armed faultinject plan into manifest form.
+func PlanRules(plan faultinject.Plan) map[string]FaultRule {
+	if len(plan) == 0 {
+		return nil
+	}
+	out := make(map[string]FaultRule, len(plan))
+	for name, r := range plan {
+		out[name] = FaultRule{Every: r.Every, DelayNS: int64(r.Delay)}
+	}
+	return out
+}
+
+// WorkloadEntry is one recorded request of the battery, with its golden
+// normal form (the offline oracle computed before the run).
+type WorkloadEntry struct {
+	ID     int    `json:"id"`
+	Kind   string `json:"kind"`
+	Spec   string `json:"spec,omitempty"`
+	Term   string `json:"term,omitempty"`
+	WantNF string `json:"want_nf,omitempty"`
+}
+
+// Request converts a recorded entry back into a loadgen request.
+func (w WorkloadEntry) Request() (loadgen.Request, error) {
+	var k loadgen.Kind
+	switch w.Kind {
+	case "normalize":
+		k = loadgen.KindNormalize
+	case "check":
+		k = loadgen.KindCheck
+	case "specs":
+		k = loadgen.KindSpecs
+	case "conform":
+		k = loadgen.KindConform
+	default:
+		return loadgen.Request{}, fmt.Errorf("unknown request kind %q", w.Kind)
+	}
+	return loadgen.Request{ID: w.ID, Kind: k, Spec: w.Spec, Term: w.Term, WantNF: w.WantNF}, nil
+}
+
+// Books is the run's reconciliation record: the outcome partition, the
+// per-(endpoint, status) attempt counts that must match the metrics
+// snapshot, and the fault-point activity.
+type Books struct {
+	Success        int64 `json:"success"`
+	ExpectedFault  int64 `json:"expected_fault"`
+	RetryExhausted int64 `json:"retry_exhausted"`
+	Failed         int64 `json:"failed"`
+	Retries        int64 `json:"retries"`
+
+	Attempts map[string]int64       `json:"attempts"`
+	Faults   map[string]FaultCounts `json:"faults,omitempty"`
+
+	ReconcileOK     bool     `json:"reconcile_ok"`
+	ReconcileErrors []string `json:"reconcile_errors,omitempty"`
+}
+
+// booksFromReport extracts the books a pack records from a finished
+// run's report.
+func booksFromReport(rep *loadgen.Report) Books {
+	b := Books{
+		Success:         rep.Success,
+		ExpectedFault:   rep.ExpectedFault,
+		RetryExhausted:  rep.RetryExhausted,
+		Failed:          rep.Failed,
+		Retries:         rep.Retries,
+		Attempts:        rep.Attempts,
+		ReconcileOK:     rep.Reconciled(),
+		ReconcileErrors: rep.ReconcileErrors,
+	}
+	if len(rep.Faults) > 0 {
+		b.Faults = make(map[string]FaultCounts, len(rep.Faults))
+		for name, c := range rep.Faults {
+			b.Faults[name] = FaultCounts{Hits: c.Hits, Fires: c.Fires}
+		}
+	}
+	return b
+}
+
+// Write emits a pack into dir (created if needed; known pack files are
+// overwritten). For load packs the report must carry Workload and
+// Outcomes (run with loadgen.Config.Record); serve packs pass rep nil.
+// The digest footer is written last, over the bytes actually on disk,
+// so a pack that Write finished is a pack Verify accepts.
+func Write(dir string, m Manifest, rep *loadgen.Report, metricsText string) error {
+	m.Format = FormatVersion
+	if m.Kind == "" {
+		m.Kind = KindLoad
+	}
+	if m.Kind == KindLoad {
+		if rep == nil || rep.Outcomes == nil || rep.Workload == nil {
+			return fmt.Errorf("runpack: a load pack needs a report recorded with loadgen.Config.Record")
+		}
+		m.Requests = len(rep.Workload)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	files := make(map[string]string, 6)
+	manJSON, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runpack: marshaling manifest: %w", err)
+	}
+	files[ManifestFile] = string(manJSON) + "\n"
+	files[MetricsFile] = ensureTrailingNewline(metricsText)
+
+	if m.Kind == KindLoad {
+		var wb, ob strings.Builder
+		for _, req := range rep.Workload {
+			line, err := json.Marshal(WorkloadEntry{
+				ID: req.ID, Kind: req.Kind.String(), Spec: req.Spec, Term: req.Term, WantNF: req.WantNF,
+			})
+			if err != nil {
+				return fmt.Errorf("runpack: marshaling workload entry %d: %w", req.ID, err)
+			}
+			wb.Write(line)
+			wb.WriteByte('\n')
+		}
+		for _, o := range rep.Outcomes {
+			line, err := json.Marshal(o)
+			if err != nil {
+				return fmt.Errorf("runpack: marshaling outcome %d: %w", o.ID, err)
+			}
+			ob.Write(line)
+			ob.WriteByte('\n')
+		}
+		books, err := json.MarshalIndent(booksFromReport(rep), "", "  ")
+		if err != nil {
+			return fmt.Errorf("runpack: marshaling books: %w", err)
+		}
+		files[WorkloadFile] = wb.String()
+		files[ResultsFile] = ob.String()
+		files[BooksFile] = string(books) + "\n"
+		files[ReportFile] = rep.String()
+	}
+
+	var entries []string
+	for _, name := range packFiles(m.Kind) {
+		content := files[name]
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return err
+		}
+		for i, line := range contentLines(content) {
+			entries = append(entries, fmt.Sprintf("%s %s:%d", lineDigest(line), name, i+1))
+		}
+	}
+	var db strings.Builder
+	db.WriteString(digestsHeader + "\n")
+	whole := sha256.New()
+	for _, e := range entries {
+		db.WriteString(e + "\n")
+		whole.Write([]byte(e))
+		whole.Write([]byte{'\n'})
+	}
+	db.WriteString(digestsFooter + hex.EncodeToString(whole.Sum(nil)) + "\n")
+	return os.WriteFile(filepath.Join(dir, DigestsFile), []byte(db.String()), 0o644)
+}
+
+// lineDigest is the truncated SHA-256 prefix guarding one line — the
+// same convention as the serve persistence WAL (internal/serve/persist.go),
+// so one digest grammar covers every durable artifact in the system.
+func lineDigest(line string) string {
+	sum := sha256.Sum256([]byte(line))
+	return hex.EncodeToString(sum[:8])
+}
+
+// contentLines splits file content into the lines the digest footer
+// covers: newline-separated, the conventional trailing newline not
+// counting as an extra empty line.
+func contentLines(content string) []string {
+	lines := strings.Split(content, "\n")
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1]
+	}
+	return lines
+}
+
+func ensureTrailingNewline(s string) string {
+	if s == "" || strings.HasSuffix(s, "\n") {
+		return s
+	}
+	return s + "\n"
+}

@@ -106,6 +106,15 @@ type Server struct {
 // contents). Every spec is compiled eagerly so a bad source fails here,
 // not on the first request that touches it.
 func New(cfg Config, extraSources ...string) (*Server, error) {
+	return NewWithSources(cfg, append(append([]string{}, speclib.Sources...), extraSources...))
+}
+
+// NewWithSources builds a server over exactly the given specification
+// sources, with no implied library. Production servers go through New;
+// this entry point exists for the runpack regression tests, which
+// simulate a binary whose embedded library changed (a perturbed axiom)
+// and assert that `adt regress` detects the behavioral drift.
+func NewWithSources(cfg Config, sources []string) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -118,7 +127,6 @@ func New(cfg Config, extraSources ...string) (*Server, error) {
 	if cfg.SnapshotEvery == 0 {
 		cfg.SnapshotEvery = DefaultSnapshotEvery
 	}
-	sources := append(append([]string{}, speclib.Sources...), extraSources...)
 	reg, err := registry.New(sources)
 	if err != nil {
 		return nil, err
