@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// commSpec carries a permutative axiom: refuted, exit 3.
+const commSpec = `
+spec Comm
+  ops
+    cz : -> Comm
+    cadd : Comm, Comm -> Comm
+  vars
+    m, n : Comm
+  axioms
+    [c] cadd(m, n) = cadd(n, m)
+end
+`
+
+// TestConfluenceLibrary pins the full-library run: 18 certified, the
+// two documented refutations, exit 3 (a refutation outranks everything).
+func TestConfluenceLibrary(t *testing.T) {
+	code, out, _ := runWith(t, "confluence", "-lib")
+	if code != exitOracle {
+		t.Fatalf("exit = %d, want %d", code, exitOracle)
+	}
+	for _, want := range []string{
+		"Queue: certified",
+		"BoundedQueue: refuted — un-orientable axiom [fu1]",
+		"SymtabImpl: refuted — un-orientable axiom [r]",
+		"18 certified, 2 refuted, 0 budget-exhausted of 20 spec(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("out missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestConfluenceCertifiedExitZero: a single certified spec exits 0, and
+// -trace replays the orientation.
+func TestConfluenceCertifiedExitZero(t *testing.T) {
+	code, out, errOut := runWith(t, "confluence", "-lib", "-spec", "Queue", "-trace")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errOut)
+	}
+	for _, want := range []string{
+		"Queue: certified",
+		"precedence:",
+		"[2] isEmpty?(add(q, i)) -> false",
+		"1 certified, 0 refuted, 0 budget-exhausted",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("out missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestConfluenceJSON: -json emits machine-readable certificates with
+// verdicts and the offender for refuted specs.
+func TestConfluenceJSON(t *testing.T) {
+	path := writeSpec(t, "comm.spec", commSpec)
+	code, out, _ := runWith(t, "confluence", "-json", path)
+	if code != exitOracle {
+		t.Fatalf("exit = %d, want %d", code, exitOracle)
+	}
+	var certs []struct {
+		Spec     string `json:"spec"`
+		Verdict  string `json:"verdict"`
+		Offender *struct {
+			Outer  string `json:"outer"`
+			Reason string `json:"reason"`
+		} `json:"offender"`
+	}
+	if err := json.Unmarshal([]byte(out), &certs); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(certs) != 1 || certs[0].Spec != "Comm" || certs[0].Verdict != "refuted" {
+		t.Fatalf("certs = %+v", certs)
+	}
+	if certs[0].Offender == nil || certs[0].Offender.Outer != "c" || certs[0].Offender.Reason != "un-orientable axiom" {
+		t.Fatalf("offender = %+v", certs[0].Offender)
+	}
+}
+
+// TestConfluenceUsageErrors: an unknown -spec and an empty load are
+// usage errors (exit 2).
+func TestConfluenceUsageErrors(t *testing.T) {
+	if code, _, _ := runWith(t, "confluence", "-lib", "-spec", "Nope"); code != exitUsage {
+		t.Fatalf("unknown spec: exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runWith(t, "confluence"); code != exitUsage {
+		t.Fatalf("nothing loaded: exit %d, want %d", code, exitUsage)
+	}
+}

@@ -36,6 +36,7 @@ func cmdLoad(args []string, out io.Writer) error {
 	srvCache := fs.Int("server-cache", 0, "per-server normal-form cache entries (0 = default, negative = disabled)")
 	replicas := fs.Int("replicas", 0, "boot a consistent-hash cluster of N replicas behind a router and load against it (0 = single server)")
 	runpackDir := fs.String("runpack", "", "emit a verifiable run artifact into this directory (forces -workers 1; single server only)")
+	stratSpec := fs.String("strategies", "", "rotate normalize requests through these evaluation strategies, e.g. innermost,outermost (single server only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,6 +45,23 @@ func cmdLoad(args []string, out io.Writer) error {
 	}
 	if *rps <= 0 || *duration <= 0 {
 		return fmt.Errorf("load requires positive -rps and -duration")
+	}
+	strategies, err := loadgen.ParseStrategies(*stratSpec)
+	if err != nil {
+		return exitf(exitUsage, "load: %v", err)
+	}
+	if len(strategies) > 0 {
+		if *runpackDir != "" {
+			// The runpack replay contract predates strategy pinning; packs
+			// record strategy-blind requests, so a mixed run cannot be
+			// packed yet.
+			return exitf(exitUsage, "load: -strategies cannot be combined with -runpack")
+		}
+		if *replicas > 0 {
+			// Cross-strategy hit accounting lives on one server's counter;
+			// a cluster would need per-replica reconciliation first.
+			return exitf(exitUsage, "load: -strategies requires a single server (-replicas 0)")
+		}
 	}
 	if *runpackDir != "" {
 		if *replicas > 0 {
@@ -126,6 +144,7 @@ func cmdLoad(args []string, out io.Writer) error {
 		Requests:    total,
 		RPS:         *rps,
 		Mix:         mix,
+		Strategies:  strategies,
 		Workers:     *workers,
 		RetryBudget: *retries,
 		FaultsArmed: len(plan) > 0,

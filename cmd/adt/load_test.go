@@ -104,3 +104,57 @@ func TestServeFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadStrategyMix is satellite acceptance for cross-strategy cache
+// sharing end to end: a single-worker run alternating innermost and
+// outermost against the default (certified-heavy) library must
+// reconcile exactly, report the rotation in the deterministic section,
+// and bank cross-strategy cache hits — possible only because certified
+// specs share one normal-form cache partition across strategies.
+func TestLoadStrategyMix(t *testing.T) {
+	code, out, errOut := runWith(t, "load",
+		"-seed", "42", "-duration", "2s", "-rps", "40",
+		"-workers", "1", "-mix", "normalize=1",
+		"-strategies", "innermost,outermost")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q\n%s", code, errOut, out)
+	}
+	section := deterministicSection(t, out)
+	for _, want := range []string{
+		"strategies=innermost,outermost",
+		"cross-strategy-hits: ",
+		"reconciliation: OK",
+	} {
+		if !strings.Contains(section, want) {
+			t.Errorf("report missing %q in:\n%s", want, section)
+		}
+	}
+	if strings.Contains(section, "cross-strategy-hits: 0\n") {
+		t.Errorf("expected cross-strategy hits on the certified battery:\n%s", section)
+	}
+	// Two runs, same seed: the rotation is assigned before any request
+	// is sent, so the deterministic section is still bit-reproducible.
+	_, out2, _ := runWith(t, "load",
+		"-seed", "42", "-duration", "2s", "-rps", "40",
+		"-workers", "1", "-mix", "normalize=1",
+		"-strategies", "innermost,outermost")
+	if s2 := deterministicSection(t, out2); s2 != section {
+		t.Fatalf("same seed, different strategy-mixed sections:\n--- run 1 ---\n%s--- run 2 ---\n%s", section, s2)
+	}
+}
+
+// TestLoadStrategyFlagValidation: the rotation is incompatible with
+// runpack recording and clustering, and entries must name real
+// strategies. All are usage errors (exit 2).
+func TestLoadStrategyFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"load", "-strategies", "leftmost"},
+		{"load", "-strategies", "innermost", "-runpack", t.TempDir()},
+		{"load", "-strategies", "innermost", "-replicas", "2"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runWith(t, args...); code != exitUsage {
+			t.Errorf("%v: exit = %d, want %d", args, code, exitUsage)
+		}
+	}
+}

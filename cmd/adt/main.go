@@ -91,6 +91,8 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) int {
 		err = cmdGenDriver(args[1:], out)
 	case "conform":
 		err = cmdConform(args[1:], out)
+	case "confluence":
+		err = cmdConfluence(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return 0
@@ -129,6 +131,12 @@ subcommands:
   cover   [-lib] [-spec NAME] [-depth N] [file ...]
                                      axiom coverage under the generated
                                      workload (reports dead axioms)
+  confluence [-lib] [-spec NAME] [-json] [-trace]
+          [-max-rules N] [-rounds N] [-fuel N] [file ...]
+                                     Knuth–Bendix completion: orient the
+                                     axioms under a derived path order and
+                                     close under critical pairs; exit 0 all
+                                     certified, 3 refuted, 1 budget
   test    [-spec NAME] [-n N] [-depth N] [-seed N] [-workers N]
           [-mutate] [-diff=false] [file ...]
                                      property-test specs: axioms as random

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"algspec/internal/axtest"
+	"algspec/internal/completion"
 	"algspec/internal/core"
 )
 
@@ -133,6 +134,10 @@ func cmdTest(args []string, out io.Writer) error {
 				Depth:   *depth - 1,
 				Seed:    effSeed,
 				Workers: *workers,
+				// Certified specs get the strengthened mode: outermost
+				// engines join the matrix and must reach the same normal
+				// forms — sound because the certificate proves unique NFs.
+				AllStrategies: completion.Complete(sp, completion.Config{}).Certified(),
 			})
 			fmt.Fprintln(out, drep)
 			if !drep.OK() {

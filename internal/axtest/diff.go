@@ -23,6 +23,13 @@ type DiffConfig struct {
 	Seed int64
 	// Workers is the N in the "workers 1/N" axis (<= 0 = 4).
 	Workers int
+	// AllStrategies additionally runs outermost-strategy engines and
+	// requires their normal forms to equal the innermost baseline's.
+	// Sound only on specs with a confluence certificate
+	// (completion.Certificate), where normal forms are
+	// strategy-independent by theorem — which is exactly when callers
+	// enable it.
+	AllStrategies bool
 }
 
 func (c DiffConfig) withDefaults() DiffConfig {
@@ -50,9 +57,10 @@ func (c DiffConfig) withDefaults() DiffConfig {
 // sharded over the per-worker tables, so only configurations in the same
 // class must agree on Steps. Normal forms must agree across ALL classes.
 const (
-	classPlain   = "plain"    // no memo: steps identical for any matcher and worker count
-	classMemoSeq = "memo-w1"  // one shared memo table: steps identical across matchers
-	classMemoPar = "memo-par" // per-worker memo tables: steps depend on sharding
+	classPlain   = "plain"     // no memo: steps identical for any matcher and worker count
+	classMemoSeq = "memo-w1"   // one shared memo table: steps identical across matchers
+	classMemoPar = "memo-par"  // per-worker memo tables: steps depend on sharding
+	classOuter   = "outermost" // outermost order: different reduction sequence entirely
 )
 
 // EngineResult is one engine configuration's outcome over the corpus.
@@ -142,6 +150,16 @@ func CheckEngines(sp *spec.Spec, cfg DiffConfig) *DiffReport {
 		{"memo+matchbind/w1", classMemoSeq, []rewrite.Option{rewrite.WithoutDiscTree(), rewrite.WithMemo()}, 1},
 		{fmt.Sprintf("memo/w%d", cfg.Workers), classMemoPar, []rewrite.Option{rewrite.WithMemo()}, cfg.Workers},
 		{fmt.Sprintf("memo+matchbind/w%d", cfg.Workers), classMemoPar, []rewrite.Option{rewrite.WithoutDiscTree(), rewrite.WithMemo()}, cfg.Workers},
+	}
+	if cfg.AllStrategies {
+		// The strengthened certified mode: outermost rows join the
+		// matrix, and the cross-class NF equality check below now spans
+		// strategies — asserting the certificate's unique-normal-form
+		// claim term by term, not just step-comparable reorderings.
+		engines = append(engines,
+			engine{"outermost/w1", classOuter, []rewrite.Option{rewrite.WithStrategy(rewrite.Outermost)}, 1},
+			engine{fmt.Sprintf("outermost/w%d", cfg.Workers), classOuter, []rewrite.Option{rewrite.WithStrategy(rewrite.Outermost)}, cfg.Workers},
+		)
 	}
 
 	nfs := make([][]*term.Term, len(engines))

@@ -1,0 +1,329 @@
+package completion
+
+import (
+	"fmt"
+	"sort"
+
+	"algspec/internal/spec"
+	"algspec/internal/term"
+)
+
+// order is the lexicographic path order the completion pass orients
+// rules under. It is derived deterministically from the specification's
+// signature, so the same spec always yields the same orientation (the
+// certificate's replayability guarantee).
+//
+// Precedence levels, highest first:
+//
+//	2+k  defined operations (heads of axioms), k the depth of their
+//	     strongly connected component in the definition-dependency
+//	     graph: f depends on g when g appears in the right-hand side
+//	     of an axiom headed by f. Mutually recursive operations share
+//	     one SCC and are *equivalent* in the order (quasi-precedence),
+//	     which is what lets a recursive definition orient by the
+//	     lexicographic argument case. Distinct SCCs are totally
+//	     ordered by (depth, smallest member name) — the deterministic
+//	     tie-break.
+//	1    native operations
+//	0    constructors (operations heading no axiom)
+//	-1   the built-in conditional `if`
+//	-2   atom literals
+//	-3   the error element
+//
+// Every axiom of the library has a defined head and a right-hand side
+// built from strictly simpler material, so this precedence orients the
+// natural way; what it refuses to orient (mutually recursive calls on
+// non-subterms, permutative equations) is exactly what a terminating
+// rewrite reading cannot support.
+type order struct {
+	level map[string]int // operation name -> precedence level
+	class map[string]int // operation name -> equivalence class (SCC id)
+}
+
+// Precedence level constants for the non-defined symbol kinds.
+const (
+	levelNative = 1
+	levelCtor   = 0
+	levelIf     = -1
+	levelAtom   = -2
+	levelErr    = -3
+)
+
+// newOrder derives the precedence from the spec's signature and axioms.
+func newOrder(sp *spec.Spec) *order {
+	o := &order{level: map[string]int{}, class: map[string]int{}}
+
+	defined := map[string]bool{}
+	for _, a := range sp.All {
+		defined[a.Head()] = true
+	}
+	for _, op := range sp.Sig.Ops() {
+		if defined[op.Name] {
+			continue
+		}
+		if op.Native {
+			o.level[op.Name] = levelNative
+		} else {
+			o.level[op.Name] = levelCtor
+		}
+	}
+
+	// Definition-dependency graph over the defined operations.
+	names := make([]string, 0, len(defined))
+	for n := range defined {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	adj := map[string][]string{}
+	for _, a := range sp.All {
+		h := a.Head()
+		a.RHS.Walk(func(t *term.Term) bool {
+			if t.Kind == term.Op && defined[t.Sym] {
+				adj[h] = append(adj[h], t.Sym)
+			}
+			return true
+		})
+	}
+	sccs := tarjan(names, adj)
+
+	// Condensation depth: an SCC's depth is one more than the deepest
+	// SCC it depends on (0 for SCCs depending only on non-defined
+	// symbols). Depth respects dependency, so a definition always
+	// outranks what it is defined in terms of.
+	sccOf := map[string]int{}
+	for i, scc := range sccs {
+		for _, n := range scc {
+			sccOf[n] = i
+		}
+	}
+	depth := make([]int, len(sccs))
+	var depthOf func(i int) int
+	depthOf = func(i int) int {
+		if depth[i] != 0 {
+			return depth[i]
+		}
+		d := 1 // 1-based so the memo's zero value means "unvisited"
+		for _, n := range sccs[i] {
+			for _, m := range adj[n] {
+				if j := sccOf[m]; j != i {
+					if dj := depthOf(j) + 1; dj > d {
+						d = dj
+					}
+				}
+			}
+		}
+		depth[i] = d
+		return d
+	}
+	type ranked struct {
+		depth int
+		name  string // smallest member, the tie-break
+		idx   int
+	}
+	rs := make([]ranked, len(sccs))
+	for i, scc := range sccs {
+		rs[i] = ranked{depth: depthOf(i), name: scc[0], idx: i}
+	}
+	sort.Slice(rs, func(a, b int) bool {
+		if rs[a].depth != rs[b].depth {
+			return rs[a].depth < rs[b].depth
+		}
+		return rs[a].name < rs[b].name
+	})
+	for rank, r := range rs {
+		for _, n := range sccs[r.idx] {
+			o.level[n] = 2 + rank
+			o.class[n] = r.idx + 1 // classes are positive; 0 means "own class"
+		}
+	}
+	return o
+}
+
+// tarjan computes strongly connected components over the given nodes
+// (iteratively — fuzzed inputs may define deep dependency chains).
+// Each component's members come back sorted; the component list itself
+// is in a deterministic order for a fixed input.
+func tarjan(nodes []string, adj map[string][]string) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	type frame struct {
+		node string
+		edge int
+	}
+	for _, start := range nodes {
+		if _, seen := index[start]; seen {
+			continue
+		}
+		frames := []frame{{node: start}}
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.edge < len(adj[f.node]) {
+				m := adj[f.node][f.edge]
+				f.edge++
+				if _, seen := index[m]; !seen {
+					index[m] = next
+					low[m] = next
+					next++
+					stack = append(stack, m)
+					onStack[m] = true
+					frames = append(frames, frame{node: m})
+				} else if onStack[m] {
+					if index[m] < low[f.node] {
+						low[f.node] = index[m]
+					}
+				}
+				continue
+			}
+			n := f.node
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].node
+				if low[n] < low[p] {
+					low[p] = low[n]
+				}
+			}
+			if low[n] == index[n] {
+				var scc []string
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[m] = false
+					scc = append(scc, m)
+					if m == n {
+						break
+					}
+				}
+				sort.Strings(scc)
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}
+
+// symLevel maps a non-variable term's head to its precedence level.
+func (o *order) symLevel(t *term.Term) int {
+	switch t.Kind {
+	case term.Err:
+		return levelErr
+	case term.Atom:
+		return levelAtom
+	}
+	if t.IsIf() {
+		return levelIf
+	}
+	if l, ok := o.level[t.Sym]; ok {
+		return l
+	}
+	// An operation outside the signature (possible under fuzzing);
+	// treat it as a constructor.
+	return levelCtor
+}
+
+// equivalent reports whether two non-variable heads are equivalent in
+// the quasi-precedence: the same symbol, or two defined operations in
+// one strongly connected component (mutual recursion).
+func (o *order) equivalent(s, t *term.Term) bool {
+	if s.Kind != t.Kind {
+		return false
+	}
+	if s.Kind == term.Err {
+		return true
+	}
+	if s.Sym == t.Sym {
+		return true
+	}
+	cs, ct := o.class[s.Sym], o.class[t.Sym]
+	return cs != 0 && cs == ct
+}
+
+// Greater reports s >lpo t: the strict lexicographic path order over
+// the derived quasi-precedence. It is a reduction order — well-founded,
+// stable under substitution and monotone — so a rule set oriented under
+// it terminates, and Greater(s, t) implies Vars(t) ⊆ Vars(s).
+func (o *order) Greater(s, t *term.Term) bool {
+	if s.Kind == term.Var {
+		return false
+	}
+	if t.Kind == term.Var {
+		return s.HasVar(t.Sym)
+	}
+	if s.Equal(t) {
+		return false
+	}
+	// Case 1 (subterm): some immediate argument of s dominates t.
+	for _, si := range s.Args {
+		if si.Equal(t) || o.Greater(si, t) {
+			return true
+		}
+	}
+	ls, lt := o.symLevel(s), o.symLevel(t)
+	switch {
+	case o.equivalent(s, t):
+		// Case 3 (lexicographic): equivalent heads, arguments compared
+		// left to right, and s must still dominate every argument of t.
+		if !o.lexGreater(s.Args, t.Args) {
+			return false
+		}
+	case ls > lt:
+		// Case 2 (precedence): s's head outranks t's.
+	default:
+		return false
+	}
+	for _, tj := range t.Args {
+		if !o.Greater(s, tj) {
+			return false
+		}
+	}
+	return true
+}
+
+// lexGreater compares argument lists left to right; at the first
+// difference the greater side wins, and a strict prefix is smaller.
+func (o *order) lexGreater(ss, ts []*term.Term) bool {
+	for i := range ss {
+		if i >= len(ts) {
+			return true // ts is a strict prefix
+		}
+		if ss[i].Equal(ts[i]) {
+			continue
+		}
+		return o.Greater(ss[i], ts[i])
+	}
+	return false
+}
+
+// String renders the precedence table, one "sym=level" entry per
+// operation, highest level first (name-sorted within a level). The
+// certificate embeds it so an orientation trace can be replayed.
+func (o *order) String() []string {
+	type ent struct {
+		name  string
+		level int
+	}
+	es := make([]ent, 0, len(o.level))
+	for n, l := range o.level {
+		es = append(es, ent{n, l})
+	}
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].level != es[b].level {
+			return es[a].level > es[b].level
+		}
+		return es[a].name < es[b].name
+	})
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = fmt.Sprintf("%s=%d", e.name, e.level)
+	}
+	return out
+}

@@ -78,8 +78,14 @@ type Report struct {
 // OK reports whether no fatal contradiction was found.
 func (r *Report) OK() bool { return len(r.Fatal) == 0 }
 
-// Confluent reports whether every critical pair was joinable, which
-// (together with termination) implies unique normal forms.
+// Confluent reports whether every critical pair was locally joinable
+// under the default strategy. That is weaker than its name: joinability
+// is judged by normalizing both contractions with the engine's ordinary
+// rule priority, so it establishes local joinability of the sampled
+// pairs, not confluence. For the real claim — a machine-checked
+// confluence + termination certificate — see completion.Certificate
+// (internal/completion), which orients the axioms under a reduction
+// order and closes the rule set under critical pairs.
 func (r *Report) Confluent() bool { return len(r.Unjoinable) == 0 }
 
 func (r *Report) String() string {
@@ -101,7 +107,7 @@ func Check(sp *spec.Spec) *Report {
 	axioms := sp.All
 	for i, outer := range axioms {
 		for j, inner := range axioms {
-			pairs := overlaps(outer, inner, i == j)
+			pairs := Overlaps(outer, inner, i == j)
 			for _, cp := range pairs {
 				judge(sp, sys, cp)
 				r.Pairs = append(r.Pairs, cp)
@@ -117,10 +123,14 @@ func Check(sp *spec.Spec) *Report {
 	return r
 }
 
-// overlaps superposes inner's LHS on every non-variable subterm of
-// outer's LHS. For self-overlap (same axiom), the root position is
-// skipped (it is trivially joinable).
-func overlaps(outer, inner *spec.Axiom, same bool) []*CriticalPair {
+// Overlaps superposes inner's LHS on every non-variable subterm of
+// outer's LHS and returns the resulting critical pairs, unjudged (only
+// the Overlap/Path/Left/Right fields are filled). For self-overlap
+// (same == true), the root position is skipped (it is trivially
+// joinable). Exported because the Knuth–Bendix completion pass
+// (internal/completion) reuses exactly this superposition machinery
+// over its evolving rule set.
+func Overlaps(outer, inner *spec.Axiom, same bool) []*CriticalPair {
 	var out []*CriticalPair
 	// Rename the two axioms apart.
 	oLHS := subst.RenameApart(outer.LHS, 1)

@@ -53,6 +53,14 @@ type Config struct {
 	FaultsArmed bool
 	// SLOs are the latency objectives to assert, if any.
 	SLOs []SLO
+	// Strategies, when non-empty, rotates normalize requests through
+	// the named evaluation strategies ("innermost", "outermost"), in
+	// request order — deterministic for a fixed seed. On a certified
+	// spec the server answers every rotation from one shared cache
+	// partition; the report carries the server's cross-strategy hit
+	// counter. Ignored when Workload is set (runpack replay pins its
+	// own requests).
+	Strategies []string
 	// Workload, when non-nil, replays exactly these requests (in order)
 	// instead of generating a sequence from (Seed, Mix, Requests). The
 	// requests carry their own oracles, so no offline oracle pass runs.
@@ -94,6 +102,18 @@ func Run(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		reqs = gen.Sequence(cfg.Requests)
+		if len(cfg.Strategies) > 0 {
+			// Round-robin in request order, assigned before any
+			// concurrency exists: the (seed, strategies) pair fully
+			// determines which request asks for which strategy.
+			k := 0
+			for i := range reqs {
+				if reqs[i].Kind == KindNormalize {
+					reqs[i].Strategy = cfg.Strategies[k%len(cfg.Strategies)]
+					k++
+				}
+			}
+		}
 	}
 
 	r := &runner{
@@ -161,6 +181,7 @@ func Run(cfg Config) (*Report, error) {
 		Seed:           cfg.Seed,
 		Requests:       cfg.Requests,
 		Mix:            cfg.Mix.String(),
+		Strategies:     strings.Join(cfg.Strategies, ","),
 		Workers:        cfg.Workers,
 		Success:        r.success,
 		ExpectedFault:  r.expectedFault,
@@ -294,7 +315,7 @@ func (r *runner) attempt(req Request) (status int, body []byte, err error) {
 	var httpReq *http.Request
 	switch req.Kind {
 	case KindNormalize:
-		payload, _ := json.Marshal(serve.NormalizeRequest{Spec: req.Spec, Term: req.Term})
+		payload, _ := json.Marshal(serve.NormalizeRequest{Spec: req.Spec, Term: req.Term, Strategy: req.Strategy})
 		httpReq, err = http.NewRequest("POST", r.cfg.BaseURL+"/v1/normalize", bytes.NewReader(payload))
 	case KindCheck:
 		payload, _ := json.Marshal(serve.CheckRequest{Source: checkSource, Depth: 2})
@@ -502,6 +523,10 @@ func (r *runner) fail(msg string) {
 // Prometheus text page.
 var requestsTotalRe = regexp.MustCompile(`(?m)^adt_requests_total\{endpoint="([a-z]+)",code="(\d+)"\} (\d+)$`)
 
+// crossStrategyRe matches the server's cross-strategy cache hit counter,
+// reported for strategy-mixed runs.
+var crossStrategyRe = regexp.MustCompile(`(?m)^adt_cache_cross_strategy_hits_total (\d+)$`)
+
 // ParseRequestsTotal reads every adt_requests_total sample off a
 // Prometheus text page into the same "endpoint:code" keys the client
 // books attempts under. Shared by the live reconciliation below and by
@@ -533,6 +558,9 @@ func (r *runner) reconcile(rep *Report) error {
 		return fmt.Errorf("loadgen: reading /metrics: %w", err)
 	}
 	server := ParseRequestsTotal(string(page))
+	if m := crossStrategyRe.FindStringSubmatch(string(page)); m != nil {
+		rep.CrossStrategyHits, _ = strconv.ParseInt(m[1], 10, 64)
+	}
 	for _, key := range SortedKeys(rep.Attempts) {
 		want := rep.Attempts[key]
 		if strings.HasSuffix(key, ":transport-error") {

@@ -64,6 +64,12 @@ type Request struct {
 	Spec   string
 	Term   string
 	WantNF string
+	// Strategy, when non-empty, pins the evaluation order the server is
+	// asked for on a normalize request ("innermost" or "outermost").
+	// The oracle is strategy-blind: on the library battery both
+	// strategies reach the same normal form, which is exactly what a
+	// strategy-mixed run asserts end to end.
+	Strategy string
 }
 
 // Mix is the workload composition as relative weights.
@@ -170,6 +176,26 @@ func NewGenerator(seed int64, mix Mix) (*Generator, error) {
 		g.oracle[spec] = nfs
 	}
 	return g, nil
+}
+
+// ParseStrategies parses a comma-separated strategy rotation, e.g.
+// "innermost,outermost". Every entry must name a known evaluation
+// strategy; an empty string means "no rotation" (nil).
+func ParseStrategies(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		p := strings.TrimSpace(part)
+		switch p {
+		case "innermost", "outermost":
+			out = append(out, p)
+		default:
+			return nil, fmt.Errorf("loadgen: unknown strategy %q (want innermost or outermost)", p)
+		}
+	}
+	return out, nil
 }
 
 // Sequence materializes the first n requests of the seeded stream. The

@@ -43,6 +43,15 @@ type Report struct {
 	Mix      string
 	Workers  int
 
+	// Strategies is the configured strategy rotation (empty when the
+	// run never asked for one); CrossStrategyHits is the server's
+	// adt_cache_cross_strategy_hits_total at scrape time — entries
+	// computed under one strategy answering the other, possible only on
+	// specs with a confluence certificate. Both are rendered only for
+	// strategy-mixed runs, so plain runs keep the historic report bytes.
+	Strategies        string
+	CrossStrategyHits int64
+
 	// RunpackPath is the artifact directory this run was asked to emit
 	// (empty otherwise). It is printed in the seed-reproducible section —
 	// the flag value as typed, never absolutized — so report diffs stay
@@ -121,7 +130,11 @@ func (r *Report) OK(faultsArmed bool) bool {
 func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "load report (seed-reproducible)\n")
-	fmt.Fprintf(&b, "  workload: seed=%d requests=%d mix=%s workers=%d\n", r.Seed, r.Requests, r.Mix, r.Workers)
+	if r.Strategies != "" {
+		fmt.Fprintf(&b, "  workload: seed=%d requests=%d mix=%s workers=%d strategies=%s\n", r.Seed, r.Requests, r.Mix, r.Workers, r.Strategies)
+	} else {
+		fmt.Fprintf(&b, "  workload: seed=%d requests=%d mix=%s workers=%d\n", r.Seed, r.Requests, r.Mix, r.Workers)
+	}
 	if r.RunpackPath != "" {
 		// The path as typed on the command line: part of the
 		// deterministic section, so it must not read the filesystem or
@@ -141,6 +154,12 @@ func (r *Report) String() string {
 			c := r.Faults[k]
 			fmt.Fprintf(&b, "    %-28s hits=%d fires=%d\n", k, c.Hits, c.Fires)
 		}
+	}
+	if r.Strategies != "" {
+		// Deterministic for workers=1 (one request in flight at a time);
+		// with concurrency the count depends on interleaving, like any
+		// cache-warmth effect.
+		fmt.Fprintf(&b, "  cross-strategy-hits: %d\n", r.CrossStrategyHits)
 	}
 	if r.Reconciled() {
 		fmt.Fprintf(&b, "  reconciliation: OK (client attempts match /metrics exactly)\n")

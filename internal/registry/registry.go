@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync"
 
+	"algspec/internal/completion"
 	"algspec/internal/core"
 	"algspec/internal/format"
 )
@@ -41,6 +42,38 @@ type Version struct {
 	Source string
 	// Env is the compiled environment: base library plus the upload.
 	Env *core.Env
+
+	// certs lazily caches one confluence certificate per spec name.
+	// Versions are content-addressed and immutable, so a certificate
+	// computed once holds for the version's whole lifetime — it is never
+	// invalidated, matching every other per-version cache.
+	certs sync.Map // spec name -> *completion.Certificate
+}
+
+// Certificate returns the confluence certificate for the named spec of
+// this version, computing it (with default budgets) on first request
+// and caching it forever after. Unknown names return nil.
+func (v *Version) Certificate(name string) *completion.Certificate {
+	if c, ok := v.certs.Load(name); ok {
+		return c.(*completion.Certificate)
+	}
+	sp, ok := v.Env.Get(name)
+	if !ok {
+		return nil
+	}
+	c := completion.Complete(sp, completion.Config{})
+	// Concurrent first requests race benignly: completion is
+	// deterministic, so whichever certificate lands is the certificate.
+	actual, _ := v.certs.LoadOrStore(name, c)
+	return actual.(*completion.Certificate)
+}
+
+// Certified reports whether the named spec of this version carries a
+// confluence + termination certificate — the soundness gate for
+// cross-strategy normal-form cache sharing in serve.
+func (v *Version) Certified(name string) bool {
+	c := v.Certificate(name)
+	return c != nil && c.Certified()
 }
 
 // Registry holds the base library version plus every registered upload.

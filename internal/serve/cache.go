@@ -169,20 +169,46 @@ func (c *lruCache[K, V]) Counters() (hits, misses int64) {
 
 // cacheEntry is one memoized normalization. Steps records the cold
 // run's reduction count and is echoed on warm hits, so a client can
-// still see what the term costs.
+// still see what the term costs. strat records the strategy that
+// computed the entry; on a shared (certified) cache a hit may serve a
+// different strategy than the one that paid for the cold run, which the
+// cross-strategy metric counts.
 type cacheEntry struct {
 	nf    *term.Term
 	steps int
+	strat uint8
 }
 
-// nfCache is the normal-form cache: canonical input term -> result.
-type nfCache = lruCache[*term.Term, cacheEntry]
+// nfKey keys the normal-form cache. The term pointer is canonical
+// (interned per version env). strat partitions the key space: certified
+// specs collapse every strategy onto stratShared — their normal forms
+// are strategy-independent by theorem, so innermost and outermost
+// requests share entries — while uncertified specs keep one partition
+// per strategy, preserving the old per-strategy soundness.
+type nfKey struct {
+	t     *term.Term
+	strat uint8
+}
+
+const (
+	// stratShared keys certified specs (any strategy) and uncertified
+	// innermost requests — the pre-certificate key space, which is what
+	// lets persisted WAL entries reload compatibly.
+	stratShared uint8 = 0
+	// stratOutermost keys uncertified outermost requests only.
+	stratOutermost uint8 = 1
+)
+
+// nfCache is the normal-form cache: canonical input term (plus strategy
+// partition) -> result.
+type nfCache = lruCache[nfKey, cacheEntry]
 
 func newNFCache(capacity int) *nfCache {
-	c := newLRU[*term.Term, cacheEntry](capacity, func(k *term.Term) uintptr {
+	c := newLRU[nfKey, cacheEntry](capacity, func(k nfKey) uintptr {
 		// Low pointer bits are alignment zeros; the shard fold discards
-		// them.
-		return uintptr(unsafe.Pointer(k))
+		// them. The strategy bit lands above them so the two partitions
+		// of one term do not collide on a shard slot.
+		return uintptr(unsafe.Pointer(k.t)) ^ (uintptr(k.strat) << 4)
 	})
 	if c != nil {
 		c.evict = fpNFEvict

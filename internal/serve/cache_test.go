@@ -17,23 +17,31 @@ func atoms(n int) []*term.Term {
 	return out
 }
 
+// nk wraps a canonical term in the shared-partition cache key, the
+// historic key space.
+func nk(t *term.Term) nfKey { return nfKey{t: t, strat: stratShared} }
+
 func TestCacheHitMissAndCounters(t *testing.T) {
 	c := newNFCache(64)
 	keys := atoms(3)
-	if _, ok := c.Get(keys[0]); ok {
+	if _, ok := c.Get(nk(keys[0])); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.Put(keys[0], cacheEntry{nf: keys[1], steps: 7})
-	got, ok := c.Get(keys[0])
+	c.Put(nk(keys[0]), cacheEntry{nf: keys[1], steps: 7})
+	got, ok := c.Get(nk(keys[0]))
 	if !ok || got.nf != keys[1] || got.steps != 7 {
 		t.Fatalf("Get = %+v, %v", got, ok)
 	}
-	if _, ok := c.Get(keys[2]); ok {
+	if _, ok := c.Get(nk(keys[2])); ok {
 		t.Fatal("hit on absent key")
 	}
+	// The two strategy partitions of one term are distinct keys.
+	if _, ok := c.Get(nfKey{t: keys[0], strat: stratOutermost}); ok {
+		t.Fatal("outermost partition hit a shared-partition entry")
+	}
 	hits, misses := c.Counters()
-	if hits != 1 || misses != 2 {
-		t.Fatalf("counters = %d/%d, want 1 hit / 2 misses", hits, misses)
+	if hits != 1 || misses != 3 {
+		t.Fatalf("counters = %d/%d, want 1 hit / 3 misses", hits, misses)
 	}
 }
 
@@ -47,7 +55,7 @@ func TestCacheEvictsLRUWithinShard(t *testing.T) {
 
 	// Find two keys that share a shard.
 	keys := atoms(256)
-	shardOf := func(k *term.Term) *lruShard[*term.Term, cacheEntry] { return c.shard(k) }
+	shardOf := func(k *term.Term) *lruShard[nfKey, cacheEntry] { return c.shard(nk(k)) }
 	var a, b *term.Term
 outer:
 	for i := range keys {
@@ -61,12 +69,12 @@ outer:
 	if a == nil {
 		t.Fatal("no two of 256 keys share a shard?")
 	}
-	c.Put(a, val)
-	c.Put(b, val) // shard is full: a is the LRU entry and must go
-	if _, ok := c.Get(a); ok {
+	c.Put(nk(a), val)
+	c.Put(nk(b), val) // shard is full: a is the LRU entry and must go
+	if _, ok := c.Get(nk(a)); ok {
 		t.Error("evicted entry still present")
 	}
-	if _, ok := c.Get(b); !ok {
+	if _, ok := c.Get(nk(b)); !ok {
 		t.Error("fresh entry missing")
 	}
 }
@@ -74,10 +82,10 @@ outer:
 func TestCacheLRUPromotionOnGet(t *testing.T) {
 	c := newNFCache(cacheShards * 2) // two slots per shard
 	keys := atoms(512)
-	sh := c.shard(keys[0])
+	sh := c.shard(nk(keys[0]))
 	same := []*term.Term{keys[0]}
 	for _, k := range keys[1:] {
-		if c.shard(k) == sh {
+		if c.shard(nk(k)) == sh {
 			same = append(same, k)
 			if len(same) == 3 {
 				break
@@ -88,14 +96,14 @@ func TestCacheLRUPromotionOnGet(t *testing.T) {
 		t.Fatal("could not find three keys on one shard")
 	}
 	val := cacheEntry{steps: 1}
-	c.Put(same[0], val)
-	c.Put(same[1], val)
-	c.Get(same[0])      // promote the older entry
-	c.Put(same[2], val) // evicts same[1], the true LRU
-	if _, ok := c.Get(same[0]); !ok {
+	c.Put(nk(same[0]), val)
+	c.Put(nk(same[1]), val)
+	c.Get(nk(same[0]))      // promote the older entry
+	c.Put(nk(same[2]), val) // evicts same[1], the true LRU
+	if _, ok := c.Get(nk(same[0])); !ok {
 		t.Error("promoted entry was evicted")
 	}
-	if _, ok := c.Get(same[1]); ok {
+	if _, ok := c.Get(nk(same[1])); ok {
 		t.Error("LRU entry survived eviction")
 	}
 }
@@ -104,10 +112,10 @@ func TestCacheLRUPromotionOnGet(t *testing.T) {
 func TestCacheDisabled(t *testing.T) {
 	var c *nfCache
 	keys := atoms(1)
-	if _, ok := c.Get(keys[0]); ok {
+	if _, ok := c.Get(nk(keys[0])); ok {
 		t.Fatal("nil cache hit")
 	}
-	c.Put(keys[0], cacheEntry{})
+	c.Put(nk(keys[0]), cacheEntry{})
 	if n := c.Len(); n != 0 {
 		t.Fatalf("Len = %d", n)
 	}
@@ -132,9 +140,9 @@ func TestCacheConcurrent(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
-				k := keys[(i*7+g*13)%len(keys)]
+				k := nk(keys[(i*7+g*13)%len(keys)])
 				if _, ok := c.Get(k); !ok {
-					c.Put(k, cacheEntry{nf: k, steps: i})
+					c.Put(k, cacheEntry{nf: k.t, steps: i})
 				}
 			}
 		}(g)

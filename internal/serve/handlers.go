@@ -33,6 +33,12 @@ type NormalizeRequest struct {
 	Version string `json:"version,omitempty"`
 	// Term is the ground term to normalize, in surface syntax.
 	Term string `json:"term"`
+	// Strategy selects the evaluation order: "innermost" (the default)
+	// or "outermost". On a spec with a confluence certificate both
+	// strategies share one normal-form cache partition — the certificate
+	// is precisely the proof that their normal forms coincide; on an
+	// uncertified spec each strategy keeps its own partition.
+	Strategy string `json:"strategy,omitempty"`
 	// Trace, when true, returns every rewrite step (and bypasses the
 	// normal-form cache, which stores only results).
 	Trace bool `json:"trace,omitempty"`
@@ -237,10 +243,34 @@ func (s *Server) handleNormalize(w http.ResponseWriter, r *http.Request) {
 	if req.Version != "" {
 		echoVersion = ver.ID
 	}
+	var strategy rewrite.Strategy
+	switch req.Strategy {
+	case "", "innermost":
+		strategy = rewrite.Innermost
+	case "outermost":
+		strategy = rewrite.Outermost
+	default:
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("unknown strategy %q: want innermost or outermost", req.Strategy)})
+		return
+	}
 	sp, ok := ver.Env.Get(req.Spec)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown specification %q", req.Spec)})
 		return
+	}
+	// Cache-partition selection is the soundness seam: innermost
+	// requests use the shared partition (the historic key space, where
+	// WAL entries and corpus warmth live); outermost requests join it
+	// only when the spec carries a confluence certificate — unique
+	// normal forms make the cached result strategy-independent — and
+	// otherwise get their own partition.
+	reqStrat := stratShared
+	if strategy == rewrite.Outermost {
+		reqStrat = stratOutermost
+	}
+	keyStrat := reqStrat
+	if reqStrat != stratShared && ver.Certified(sp.Name) {
+		keyStrat = stratShared
 	}
 	base, err := ver.Env.System(sp.Name)
 	if err != nil {
@@ -267,7 +297,13 @@ func (s *Server) handleNormalize(w http.ResponseWriter, r *http.Request) {
 
 	useCache := !req.Trace
 	if useCache {
-		if hit, ok := s.cache.Get(canon); ok {
+		if hit, ok := s.cache.Get(nfKey{t: canon, strat: keyStrat}); ok {
+			if hit.strat != reqStrat {
+				// A certified spec's entry computed under one strategy
+				// just answered the other — the sharing the certificate
+				// paid for.
+				s.crossHits.Add(1)
+			}
 			resp := normRespPool.Get().(*NormalizeResponse)
 			*resp = NormalizeResponse{
 				Spec:       sp.Name,
@@ -300,6 +336,9 @@ func (s *Server) handleNormalize(w http.ResponseWriter, r *http.Request) {
 
 	var trace []TraceStep
 	opts := []rewrite.Option{rewrite.WithMaxSteps(fuel), rewrite.WithStop(&stop)}
+	if strategy != rewrite.Innermost {
+		opts = append(opts, rewrite.WithStrategy(strategy))
+	}
 	if faultinject.Armed() {
 		// The engine-level fault points ride the request's fork via the
 		// same seam the deadline does; the Armed check keeps the normal
@@ -332,13 +371,18 @@ func (s *Server) handleNormalize(w http.ResponseWriter, r *http.Request) {
 	res := <-job.reply // workers always reply: cancellation is bounded by the stop poll
 
 	if useCache && res.err == nil {
-		s.cache.Put(canon, cacheEntry{nf: res.nf, steps: res.stats.Steps})
+		s.cache.Put(nfKey{t: canon, strat: keyStrat}, cacheEntry{nf: res.nf, steps: res.stats.Steps, strat: reqStrat})
 		// Durability rides the cold path: the WAL write hides behind the
-		// normalization this request just paid for.
-		s.pers.append(walRecord{
-			Version: ver.ID, Spec: sp.Name, Sort: string(canon.Sort),
-			Term: canon.String(), NF: res.nf.String(), Steps: res.stats.Steps,
-		})
+		// normalization this request just paid for. Only shared-keyed
+		// results are persisted — WAL entries reload into the shared
+		// partition, which would be unsound for an uncertified
+		// outermost result.
+		if keyStrat == stratShared {
+			s.pers.append(walRecord{
+				Version: ver.ID, Spec: sp.Name, Sort: string(canon.Sort),
+				Term: canon.String(), NF: res.nf.String(), Steps: res.stats.Steps,
+			})
+		}
 	}
 	switch {
 	case res.err == nil:
@@ -490,6 +534,14 @@ func (s *Server) handleSpecUpload(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
 	resp := SpecsResponse{Specs: speclib.Summarize(s.env)}
+	for i := range resp.Specs {
+		// The base version caches one certificate per spec, computed at
+		// boot — this is a map lookup, not a completion run.
+		if c := s.reg.Base().Certificate(resp.Specs[i].Name); c != nil {
+			certified := c.Certified()
+			resp.Specs[i].Confluent = &certified
+		}
+	}
 	for _, v := range s.reg.Versions() {
 		if v.Source == "" {
 			continue // the base library is implied
@@ -526,6 +578,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP adt_registry_versions Registry versions held (base library included).")
 	fmt.Fprintln(w, "# TYPE adt_registry_versions gauge")
 	fmt.Fprintf(w, "adt_registry_versions %d\n", s.reg.Len())
+	fmt.Fprintln(w, "# HELP adt_confluence_certified Base-library specs carrying a confluence + termination certificate.")
+	fmt.Fprintln(w, "# TYPE adt_confluence_certified gauge")
+	fmt.Fprintf(w, "adt_confluence_certified %d\n", s.certifiedBase)
+	fmt.Fprintln(w, "# HELP adt_cache_cross_strategy_hits_total Normal-form cache hits served to a different strategy than the one that computed the entry (certified specs only).")
+	fmt.Fprintln(w, "# TYPE adt_cache_cross_strategy_hits_total counter")
+	fmt.Fprintf(w, "adt_cache_cross_strategy_hits_total %d\n", s.crossHits.Load())
 	for _, c := range []struct {
 		name, help string
 		kind       string

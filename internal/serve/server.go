@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"algspec/internal/core"
@@ -95,6 +96,14 @@ type Server struct {
 	conf    *conformState
 	mux     *http.ServeMux
 
+	// certifiedBase counts the base-library specs carrying a confluence
+	// certificate (the adt_confluence_certified gauge); crossHits counts
+	// cache hits served to a different strategy than the one that
+	// computed the entry — possible only on certified specs, where the
+	// normal form is strategy-independent by theorem.
+	certifiedBase int64
+	crossHits     atomic.Int64
+
 	snapStop chan struct{}
 	snapWG   sync.WaitGroup
 	closeMu  sync.Mutex
@@ -153,6 +162,16 @@ func NewWithSources(cfg Config, sources []string) (*Server, error) {
 	}
 	if cfg.Warm {
 		s.warmFromCorpus()
+	}
+	// Completing the base library at boot (cheap: the certificates are
+	// cached on the version) makes the certified set a boot-time fact —
+	// the first strategy-mixed request never pays for completion, and
+	// the adt_confluence_certified gauge is stable from the first
+	// scrape.
+	for _, name := range reg.Base().Specs {
+		if reg.Base().Certified(name) {
+			s.certifiedBase++
+		}
 	}
 	s.pool = newPool(cfg.Workers, &s.rec)
 	s.conf = newConformState()
@@ -215,7 +234,10 @@ func (s *Server) loadPersisted() {
 			continue
 		}
 		canon := sys.Interner().Canon(in)
-		s.cache.Put(canon, cacheEntry{nf: sys.Interner().Canon(nf), steps: rec.Steps})
+		// Persisted entries reload into the shared partition: only
+		// shared-keyed results are ever written to the WAL, so this
+		// round-trips exactly.
+		s.cache.Put(nfKey{t: canon, strat: stratShared}, cacheEntry{nf: sys.Interner().Canon(nf), steps: rec.Steps})
 		s.parsed.Put(ver.ID+"\x00"+rec.Spec+"\x00"+rec.Term, canon)
 		s.pers.warmLoaded.Add(1)
 	}
@@ -244,7 +266,7 @@ func (s *Server) warmFromCorpus() {
 				continue
 			}
 			steps := f.Stats().Steps
-			s.cache.Put(canon, cacheEntry{nf: nf, steps: steps})
+			s.cache.Put(nfKey{t: canon, strat: stratShared}, cacheEntry{nf: nf, steps: steps})
 			s.parsed.Put(base.ID+"\x00"+name+"\x00"+src, canon)
 			s.pers.append(walRecord{
 				Version: base.ID, Spec: name, Sort: string(canon.Sort),

@@ -530,6 +530,10 @@ type Summary struct {
 	OwnAxioms    int      `json:"axioms"`
 	Uses         []string `json:"uses,omitempty"`
 	Constructors []string `json:"constructors,omitempty"`
+	// Confluent carries the spec's confluence-certificate verdict when
+	// the caller has one (the server fills it from the registry
+	// version's cached certificate); nil means "not computed here".
+	Confluent *bool `json:"confluent,omitempty"`
 }
 
 // Summarize describes every specification loaded in env, in load order

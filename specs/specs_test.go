@@ -13,6 +13,7 @@ import (
 
 	"algspec/internal/axtest"
 	"algspec/internal/complete"
+	"algspec/internal/completion"
 	"algspec/internal/consist"
 	"algspec/internal/core"
 	"algspec/internal/homo"
@@ -91,15 +92,25 @@ func TestShippedSpecsOracle(t *testing.T) {
 // term.
 func TestShippedSpecsEnginesAgree(t *testing.T) {
 	env, names := loadAll(t)
+	strengthened := 0
 	for _, name := range names {
 		sp := env.MustGet(name)
-		rep := axtest.CheckEngines(sp, axtest.DiffConfig{Depth: 2, PerOp: 40, RandomPerOp: 10, Seed: 7})
+		// Certified specs also run the outermost engines and must reach
+		// identical normal forms (the certificate's unique-NF claim).
+		all := completion.Complete(sp, completion.Config{}).Certified()
+		if all {
+			strengthened++
+		}
+		rep := axtest.CheckEngines(sp, axtest.DiffConfig{Depth: 2, PerOp: 40, RandomPerOp: 10, Seed: 7, AllStrategies: all})
 		if !rep.OK() {
 			t.Errorf("%s:\n%s", name, rep)
 		}
 		if rep.Corpus == 0 {
 			t.Errorf("%s: differential corpus is empty", name)
 		}
+	}
+	if strengthened == 0 {
+		t.Error("no shipped spec ran the strengthened all-strategies mode")
 	}
 }
 
